@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared helpers for the table/figure benches: scale-aware dataset
+ * construction and header printing. Smoke scale keeps the whole bench
+ * suite runnable in minutes on one CPU core; GNNPERF_SCALE=full uses
+ * the paper's protocol (see DESIGN.md §6).
+ */
+
+#ifndef GNNPERF_BENCH_BENCH_COMMON_HH
+#define GNNPERF_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+
+#include "common/env.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+namespace gnnperf {
+namespace bench {
+
+/** Print a bench banner with the active scale. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("==============================================\n");
+    std::printf("gnnperf bench: %s\n", what);
+    std::printf("reproduces:    %s\n", paper_ref);
+    std::printf("scale:         %s (GNNPERF_SCALE=full for paper "
+                "protocol)\n",
+                fullScale() ? "full" : "smoke");
+    std::printf("==============================================\n\n");
+}
+
+/** Cora at paper size (cheap enough at every scale). */
+inline NodeDataset
+benchCora()
+{
+    return makeCora(/*seed=*/7);
+}
+
+/**
+ * PubMed: paper size at full scale; a quarter-size network with the
+ * same feature width and class count at smoke scale (full-batch
+ * training on 19 717 × 500 features is minutes of single-core GEMM).
+ */
+inline NodeDataset
+benchPubMed()
+{
+    if (fullScale())
+        return makePubMed(/*seed=*/7);
+    CitationConfig cfg;
+    cfg.name = "PubMed(smoke-1/4)";
+    cfg.numNodes = 4930;
+    cfg.numUndirectedEdges = 11085;
+    cfg.numFeatures = 500;
+    cfg.numClasses = 3;
+    cfg.trainPerClass = 20;
+    cfg.valCount = 500;
+    cfg.testCount = 1000;
+    cfg.homophily = 0.82;
+    cfg.wordsPerDoc = 24;
+    cfg.topicFidelity = 0.60;
+    cfg.labelNoise = 0.13;
+    cfg.seed = 7 ^ 0xc0ffee;
+    return makeCitation(cfg);
+}
+
+/** ENZYMES: 600 graphs at full scale, 300 at smoke scale. */
+inline GraphDataset
+benchEnzymes()
+{
+    const int64_t n = envInt("GNNPERF_ENZYMES_GRAPHS",
+                             fullScale() ? 600 : 300);
+    return makeEnzymes(/*seed=*/42, n);
+}
+
+/**
+ * DD: 1178 graphs with the full heavy tail at full scale; at smoke
+ * scale 96 graphs capped at 300 nodes (DD's 5 748-node outliers are
+ * minutes each on one core).
+ */
+inline GraphDataset
+benchDD()
+{
+    if (fullScale())
+        return makeDD(/*seed=*/42, 1178, 0);
+    const int64_t n = envInt("GNNPERF_DD_GRAPHS", 96);
+    return makeDD(/*seed=*/42, n, /*max_nodes_cap=*/300);
+}
+
+/** MNIST: 70 000 graphs at full scale, 800 at smoke scale. */
+inline GraphDataset
+benchMnist()
+{
+    MnistSuperpixelConfig cfg;
+    cfg.numGraphs = envInt("GNNPERF_MNIST_GRAPHS",
+                           fullScale() ? 70000 : 800);
+    return makeMnistSuperpixels(cfg);
+}
+
+} // namespace bench
+} // namespace gnnperf
+
+#endif // GNNPERF_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fig. 2 — per-epoch execution-time breakdown on DD at batch sizes
+ * 64/128/256.
+ *
+ * Expected shape vs the paper: unlike ENZYMES, doubling the batch
+ * size barely reduces forward+backward time (DD's big graphs make the
+ * kernels compute-bound); DGL loading still dominates PyG's.
+ */
+
+#include "bench_common.hh"
+
+using namespace gnnperf;
+using namespace gnnperf::bench;
+
+int
+main()
+{
+    banner("Fig. 2 — epoch-time breakdown on DD", "paper Fig. 2");
+    const int epochs = static_cast<int>(envEpochs(2, 5));
+
+    GraphDataset dd = benchDD();
+    auto cells = runProfileGrid(dd, allModels(), {64, 128, 256},
+                                epochs, /*seed=*/1);
+    std::printf("%s\n", renderBreakdownTable(dd.name, cells).c_str());
+    maybeWriteCsv("fig2_dd_breakdown.csv",
+                  profileGridCsv(dd.name, cells));
+    return 0;
+}

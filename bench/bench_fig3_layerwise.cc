@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fig. 3 — layer-wise forward execution time of one training
+ * iteration on ENZYMES (batch 128) for the six models under both
+ * frameworks.
+ *
+ * Expected shape vs the paper: DGL conv layers cost more than PyG's;
+ * conv1 is the most expensive conv under DGL; DGL's pooling (segment
+ * reduction) costs more than PyG's scatter-based pooling.
+ */
+
+#include "bench_common.hh"
+
+using namespace gnnperf;
+using namespace gnnperf::bench;
+
+int
+main()
+{
+    banner("Fig. 3 — layer-wise execution time on ENZYMES",
+           "paper Fig. 3");
+    const int epochs = static_cast<int>(envEpochs(2, 5));
+
+    GraphDataset enzymes = benchEnzymes();
+    auto cells = runLayerwiseProfile(enzymes, allModels(), 128, epochs,
+                                     /*seed=*/1);
+    std::printf("%s\n",
+                renderLayerwiseTable(enzymes.name, cells).c_str());
+    maybeWriteCsv("fig3_layerwise.csv",
+                  profileGridCsv(enzymes.name, cells));
+    return 0;
+}

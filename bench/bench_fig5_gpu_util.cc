@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 5 — GPU compute utilization (paper Eq. 5: kernel-busy time
+ * over elapsed time) at batch sizes 64/128/256 on ENZYMES and DD.
+ *
+ * Expected shape vs the paper: utilization is low everywhere (mostly
+ * under 40%); DGL slightly below PyG; it rises with batch size and is
+ * higher on DD (bigger kernels) than on ENZYMES.
+ */
+
+#include "bench_common.hh"
+
+using namespace gnnperf;
+using namespace gnnperf::bench;
+
+int
+main()
+{
+    banner("Fig. 5 — GPU compute utilization (ENZYMES, DD)",
+           "paper Fig. 5");
+    const int epochs = static_cast<int>(envEpochs(1, 3));
+
+    {
+        GraphDataset enzymes = benchEnzymes();
+        auto cells = runProfileGrid(enzymes, allModels(),
+                                    {64, 128, 256}, epochs, /*seed=*/1);
+        std::printf("%s\n",
+                    renderUtilizationTable(enzymes.name,
+                                           cells).c_str());
+        maybeWriteCsv("fig5_enzymes_util.csv",
+                      profileGridCsv(enzymes.name, cells));
+    }
+    {
+        GraphDataset dd = benchDD();
+        auto cells = runProfileGrid(dd, allModels(), {64, 128, 256},
+                                    epochs, /*seed=*/1);
+        std::printf("%s\n",
+                    renderUtilizationTable(dd.name, cells).c_str());
+        maybeWriteCsv("fig5_dd_util.csv",
+                      profileGridCsv(dd.name, cells));
+    }
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig. 6 — multi-GPU DataParallel scaling: time per epoch of GCN and
+ * GAT on MNIST-superpixels at batch sizes 128/256/512 on 1/2/4/8
+ * GPUs, under both frameworks.
+ *
+ * Expected shape vs the paper: small epoch-time reductions from 1→2
+ * and 2→4 GPUs (host-side data loading bounds the speedup); from 4→8
+ * GPUs the time flattens or increases (replication/transfer
+ * overhead).
+ */
+
+#include "bench_common.hh"
+
+using namespace gnnperf;
+using namespace gnnperf::bench;
+
+int
+main()
+{
+    banner("Fig. 6 — multi-GPU scaling on MNIST", "paper Fig. 6");
+
+    GraphDataset mnist = benchMnist();
+    DatasetInfo info = mnist.info();
+    std::printf("%s: %ld graphs, avg %.1f nodes / %.1f edges\n\n",
+                info.name.c_str(), info.numGraphs, info.avgNodes,
+                info.avgEdges);
+
+    auto cells = runMultiGpuScaling(
+        mnist, {ModelKind::GCN, ModelKind::GAT}, {128, 256, 512},
+        {1, 2, 4, 8}, /*seed=*/3);
+    std::printf("%s\n", renderMultiGpuTable(mnist.name, cells).c_str());
+    maybeWriteCsv("fig6_multigpu.csv", multiGpuCsv(mnist.name, cells));
+    return 0;
+}

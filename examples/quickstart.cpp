@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: train one GNN on a small synthetic protein dataset under
+ * both framework backends and compare accuracy, simulated epoch time,
+ * and peak device memory.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "common/string_utils.hh"
+
+using namespace gnnperf;
+
+int
+main()
+{
+    // A small ENZYMES-like dataset (120 graphs, 6 classes).
+    GraphDataset dataset = makeEnzymes(/*seed=*/42, /*num_graphs=*/120);
+    std::printf("dataset: %s — %zu graphs, %ld features, %ld classes\n",
+                dataset.name.c_str(), dataset.graphs.size(),
+                dataset.numFeatures, dataset.numClasses);
+
+    // One stratified fold (8:1:1 split).
+    std::vector<FoldSplit> folds =
+        stratifiedKFold(dataset.labels(), 10, /*seed=*/1);
+    const FoldSplit &fold = folds.front();
+
+    for (FrameworkKind fw : allFrameworks()) {
+        TrainOptions opts;
+        opts.maxEpochs = 15;
+        opts.seed = 7;
+        GraphTrainResult r = trainGraphTask(ModelKind::GCN,
+                                            getBackend(fw), dataset,
+                                            fold, opts);
+        std::printf(
+            "GCN under %-3s: test acc %5.1f%%  epoch %7.2f ms  "
+            "(load %5.2f ms, fwd %5.2f ms, bwd %5.2f ms)  "
+            "peak mem %s  GPU util %4.1f%%\n",
+            frameworkName(fw), r.testAccuracy * 100.0,
+            r.epochTime * 1e3, r.profile.breakdown.dataLoading * 1e3,
+            r.profile.breakdown.forward * 1e3,
+            r.profile.breakdown.backward * 1e3,
+            formatBytes(r.profile.peakMemoryBytes).c_str(),
+            r.profile.gpuUtilization * 100.0);
+    }
+    std::printf("\nExpected shape (paper): PyG faster than DGL, mostly "
+                "due to data loading.\n");
+    return 0;
+}

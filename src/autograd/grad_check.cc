@@ -1,0 +1,58 @@
+#include "autograd/grad_check.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gnnperf {
+namespace autograd {
+
+GradCheckResult
+checkGradients(const std::function<Var()> &f, std::vector<Var> leaves,
+               float eps, double tol)
+{
+    // Analytic gradients.
+    for (auto &leaf : leaves)
+        leaf.zeroGrad();
+    Var loss = f();
+    gnnperf_assert(loss.numel() == 1, "checkGradients: non-scalar loss");
+    loss.backward();
+
+    std::vector<Tensor> analytic;
+    analytic.reserve(leaves.size());
+    for (auto &leaf : leaves) {
+        gnnperf_assert(leaf.requiresGrad(),
+                       "checkGradients: leaf without requiresGrad");
+        analytic.push_back(leaf.hasGrad()
+            ? leaf.grad().clone()
+            : Tensor::zeros(leaf.value().shape(),
+                            leaf.value().device()));
+    }
+
+    GradCheckResult result;
+    for (std::size_t li = 0; li < leaves.size(); ++li) {
+        Tensor &v = leaves[li].valueMutable();
+        for (int64_t i = 0; i < v.numel(); ++i) {
+            const float orig = v.at(i);
+            v.set(i, orig + eps);
+            const double fp = f().item();
+            v.set(i, orig - eps);
+            const double fm = f().item();
+            v.set(i, orig);
+            const double numeric = (fp - fm) / (2.0 * eps);
+            const double exact = analytic[li].at(i);
+            const double abs_err = std::abs(exact - numeric);
+            const double denom =
+                std::max({std::abs(exact), std::abs(numeric), 1.0});
+            result.maxAbsError = std::max(result.maxAbsError, abs_err);
+            result.maxRelError =
+                std::max(result.maxRelError, abs_err / denom);
+        }
+    }
+    result.ok = result.maxRelError <= tol;
+    return result;
+}
+
+} // namespace autograd
+} // namespace gnnperf

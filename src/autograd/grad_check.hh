@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Numerical gradient checking for autograd ops and modules.
+ *
+ * Used exclusively by the test suite: given a scalar-valued function of
+ * leaf variables, compares backpropagated gradients against central
+ * finite differences.
+ */
+
+#ifndef GNNPERF_AUTOGRAD_GRAD_CHECK_HH
+#define GNNPERF_AUTOGRAD_GRAD_CHECK_HH
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.hh"
+
+namespace gnnperf {
+namespace autograd {
+
+/** Result of a gradient check. */
+struct GradCheckResult
+{
+    double maxAbsError = 0.0;  ///< max |analytic − numeric|
+    double maxRelError = 0.0;  ///< max error relative to magnitude
+    bool ok = false;           ///< maxRelError within tolerance
+};
+
+/**
+ * Check gradients of `f` with respect to `leaves`.
+ *
+ * `f` must re-evaluate the computation from the current leaf values and
+ * return a scalar Var. Every leaf must have requiresGrad set.
+ *
+ * @param f scalar-valued forward function
+ * @param leaves variables to differentiate with respect to
+ * @param eps finite-difference step
+ * @param tol relative tolerance for `ok`
+ */
+GradCheckResult checkGradients(const std::function<Var()> &f,
+                               std::vector<Var> leaves,
+                               float eps = 1e-3f, double tol = 5e-2);
+
+} // namespace autograd
+} // namespace gnnperf
+
+#endif // GNNPERF_AUTOGRAD_GRAD_CHECK_HH

@@ -1,0 +1,161 @@
+#include "autograd/variable.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "tensor/ops.hh"
+
+namespace gnnperf {
+namespace autograd {
+
+bool GradMode::enabled_ = true;
+
+void
+Node::accumulateGrad(const Tensor &g)
+{
+    gnnperf_assert(g.sameShape(value),
+                   "gradient shape ", g.describe(), " != value shape ",
+                   value.describe(), " for op ", opName);
+    if (!grad.defined()) {
+        grad = g.clone();
+    } else {
+        ops::addInPlace(grad, g);
+    }
+}
+
+Var::Var(Tensor value, bool requires_grad)
+    : node_(std::make_shared<Node>())
+{
+    node_->value = std::move(value);
+    node_->requiresGrad = requires_grad;
+}
+
+Var
+Var::makeOp(const char *name, Tensor value, std::vector<Var> inputs,
+            std::function<void(Node &)> backward_fn)
+{
+    bool any_grad = false;
+    if (GradMode::enabled()) {
+        for (const auto &in : inputs) {
+            if (in.defined() && in.requiresGrad()) {
+                any_grad = true;
+                break;
+            }
+        }
+    }
+    if (!any_grad) {
+        // Detached result: no tape edges, no closure retained.
+        return Var(std::move(value), false);
+    }
+    auto node = std::make_shared<Node>();
+    node->value = std::move(value);
+    node->requiresGrad = true;
+    node->opName = name;
+    node->backwardFn = std::move(backward_fn);
+    node->inputs.reserve(inputs.size());
+    for (auto &in : inputs)
+        node->inputs.push_back(in.node());
+    return Var(std::move(node));
+}
+
+const Tensor &
+Var::value() const
+{
+    gnnperf_assert(defined(), "value() on undefined Var");
+    return node_->value;
+}
+
+Tensor &
+Var::valueMutable()
+{
+    gnnperf_assert(defined(), "valueMutable() on undefined Var");
+    return node_->value;
+}
+
+const Tensor &
+Var::grad() const
+{
+    gnnperf_assert(defined() && node_->grad.defined(),
+                   "grad() on Var without gradient");
+    return node_->grad;
+}
+
+bool
+Var::hasGrad() const
+{
+    return defined() && node_->grad.defined();
+}
+
+bool
+Var::requiresGrad() const
+{
+    return defined() && node_->requiresGrad;
+}
+
+float
+Var::item() const
+{
+    gnnperf_assert(numel() == 1, "item() on tensor with ", numel(),
+                   " elements");
+    return value().at(0);
+}
+
+void
+Var::zeroGrad()
+{
+    if (defined())
+        node_->grad = Tensor();
+}
+
+void
+Var::backward()
+{
+    backward(Tensor::ones(value().shape(), value().device()));
+}
+
+void
+Var::backward(const Tensor &seed)
+{
+    gnnperf_assert(defined(), "backward() on undefined Var");
+
+    // Iterative post-order DFS to build a topological order.
+    std::vector<Node *> order;
+    std::unordered_set<Node *> visited;
+    std::vector<std::pair<Node *, std::size_t>> stack;
+    stack.emplace_back(node_.get(), 0);
+    visited.insert(node_.get());
+    while (!stack.empty()) {
+        auto &[node, next] = stack.back();
+        if (next < node->inputs.size()) {
+            Node *child = node->inputs[next].get();
+            ++next;
+            if (child && child->requiresGrad &&
+                visited.insert(child).second) {
+                stack.emplace_back(child, 0);
+            }
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+
+    node_->accumulateGrad(seed);
+
+    // Reverse topological order: root first.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node *node = *it;
+        if (node->backwardFn && node->grad.defined())
+            node->backwardFn(*node);
+    }
+}
+
+Var
+Var::detach() const
+{
+    if (!defined())
+        return Var();
+    return Var(node_->value, false);
+}
+
+} // namespace autograd
+} // namespace gnnperf

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Reverse-mode automatic differentiation.
+ *
+ * A Var wraps a shared tape Node holding a value, an optional gradient,
+ * and a backward closure that distributes the node's gradient to its
+ * inputs. Calling backward() on a scalar Var topologically sorts the
+ * reachable graph and runs the closures in reverse order — the same
+ * define-by-run scheme PyTorch uses, which both PyG and DGL rely on.
+ *
+ * Gradient computations execute real tensor kernels, so the Backward
+ * phase of the trace (paper Figs. 1–3) is populated by genuinely
+ * executed work.
+ */
+
+#ifndef GNNPERF_AUTOGRAD_VARIABLE_HH
+#define GNNPERF_AUTOGRAD_VARIABLE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace gnnperf {
+namespace autograd {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/** One tape entry. */
+class Node
+{
+  public:
+    Tensor value;
+    Tensor grad;                 ///< lazily allocated on first use
+    bool requiresGrad = false;
+    const char *opName = "leaf";
+    std::vector<NodePtr> inputs;
+
+    /** Distributes `grad` to the inputs; empty for leaves. */
+    std::function<void(Node &)> backwardFn;
+
+    /** grad += g, allocating a zero gradient on first accumulation. */
+    void accumulateGrad(const Tensor &g);
+};
+
+/** Global gradient-recording switch (mirrors torch.no_grad()). */
+class GradMode
+{
+  public:
+    static bool enabled() { return enabled_; }
+    static void set(bool enabled) { enabled_ = enabled; }
+
+  private:
+    static bool enabled_;
+};
+
+/** RAII guard that disables gradient recording in its scope. */
+class NoGradGuard
+{
+  public:
+    NoGradGuard() : prev_(GradMode::enabled()) { GradMode::set(false); }
+    ~NoGradGuard() { GradMode::set(prev_); }
+
+    NoGradGuard(const NoGradGuard &) = delete;
+    NoGradGuard &operator=(const NoGradGuard &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/**
+ * Handle to a tape node; the user-facing autograd type.
+ */
+class Var
+{
+  public:
+    /** Undefined variable. */
+    Var() = default;
+
+    /** Leaf variable wrapping a tensor. */
+    explicit Var(Tensor value, bool requires_grad = false);
+
+    /**
+     * Create an op result node. If gradient recording is off or no
+     * input requires a gradient, the result is a detached leaf and
+     * `backward_fn` is discarded (graph pruning).
+     */
+    static Var makeOp(const char *name, Tensor value,
+                      std::vector<Var> inputs,
+                      std::function<void(Node &)> backward_fn);
+
+    bool defined() const { return node_ != nullptr; }
+    const Tensor &value() const;
+    Tensor &valueMutable();
+    const Tensor &grad() const;
+    bool hasGrad() const;
+    bool requiresGrad() const;
+
+    /** Shape helpers forwarded to the value tensor. */
+    int64_t dim(int64_t i) const { return value().dim(i); }
+    int64_t rank() const { return value().rank(); }
+    int64_t numel() const { return value().numel(); }
+
+    /** Scalar extraction (requires numel() == 1). */
+    float item() const;
+
+    /** Clear this node's gradient. */
+    void zeroGrad();
+
+    /**
+     * Run reverse-mode differentiation from this node, seeding with
+     * ones (the node is usually the scalar loss).
+     */
+    void backward();
+
+    /** Same, with an explicit seed gradient. */
+    void backward(const Tensor &seed);
+
+    /** Detach from the tape (shares the value tensor). */
+    Var detach() const;
+
+    NodePtr node() const { return node_; }
+
+  private:
+    explicit Var(NodePtr node) : node_(std::move(node)) {}
+
+    NodePtr node_;
+};
+
+} // namespace autograd
+
+using autograd::NoGradGuard;
+using autograd::Var;
+
+} // namespace gnnperf
+
+#endif // GNNPERF_AUTOGRAD_VARIABLE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation backends — hypothetical framework variants testing the
+ * optimisation opportunities the paper identifies (§V):
+ *
+ *  - FastCollateDglBackend: DGL's kernels and runtime, but with a
+ *    homogeneous-graph fast path for batch collation ("more efficient
+ *    graph batching strategies will greatly speed up GNN training").
+ *  - FusedPygBackend: PyG's collation and dispatch cost, but with
+ *    DGL-style fused GSpMM kernels instead of gather+scatter chains —
+ *    isolating the value of kernel fusion from the rest of DGL's
+ *    runtime.
+ *
+ * These never appear in the paper-reproduction tables; they exist for
+ * bench_ablation_backends and the ablation tests.
+ */
+
+#ifndef GNNPERF_BACKENDS_ABLATION_ABLATION_BACKENDS_HH
+#define GNNPERF_BACKENDS_ABLATION_ABLATION_BACKENDS_HH
+
+#include "backends/dgl/dgl_backend.hh"
+#include "backends/pyg/pyg_backend.hh"
+
+namespace gnnperf {
+
+/**
+ * DGL with the paper's suggested collation fix: homogeneous batches
+ * skip heterograph metadata and merge features through the contiguous
+ * fast path; formats are built lazily on first use.
+ */
+class FastCollateDglBackend : public DglBackend
+{
+  public:
+    FastCollateDglBackend() : DglBackend(true, true) {}
+
+    const char *name() const override { return "DGL+fastbatch"; }
+
+    BatchedGraph
+    collate(const std::vector<const Graph *> &graphs) const override
+    {
+        // The PyG-style path with DGL's per-graph bookkeeping share.
+        BatchedGraph batch =
+            collatePygStyle(graphs, PygBackend::kCollateOpsPerGraph);
+        batch.heteroProcessed = false;
+        return batch;
+    }
+};
+
+/**
+ * PyG with DGL-style fused kernels: inherits the fused op
+ * implementations but drops heterograph dispatch and frame staging,
+ * and uses PyG's collation and dispatch cost.
+ */
+class FusedPygBackend : public DglBackend
+{
+  public:
+    FusedPygBackend()
+        : DglBackend(/*emit_hetero_dispatch=*/false,
+                     /*alloc_frames=*/false)
+    {
+    }
+
+    FrameworkKind kind() const override { return FrameworkKind::PyG; }
+    const char *name() const override { return "PyG+fused"; }
+
+    double
+    dispatchOverhead() const override
+    {
+        return PygBackend::kDispatchOverhead;
+    }
+
+    BatchedGraph
+    collate(const std::vector<const Graph *> &graphs) const override
+    {
+        return collatePygStyle(graphs,
+                               PygBackend::kCollateOpsPerGraph);
+    }
+
+    bool requiresEdgeFeatures() const override { return false; }
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_BACKENDS_ABLATION_ABLATION_BACKENDS_HH

@@ -1,0 +1,44 @@
+#include "backends/backend.hh"
+
+#include "autograd/functions.hh"
+#include "backends/dgl/dgl_backend.hh"
+#include "backends/pyg/pyg_backend.hh"
+#include "common/logging.hh"
+
+namespace gnnperf {
+
+const char *
+frameworkName(FrameworkKind kind)
+{
+    return kind == FrameworkKind::PyG ? "PyG" : "DGL";
+}
+
+Var
+Backend::gatherSrc(BatchedGraph &g, const Var &x) const
+{
+    return fn::gatherRows(x, g.edgeSrc);
+}
+
+Var
+Backend::gatherDst(BatchedGraph &g, const Var &x) const
+{
+    return fn::gatherRows(x, g.edgeDst);
+}
+
+Backend &
+getBackend(FrameworkKind kind)
+{
+    static PygBackend pyg;
+    static DglBackend dgl;
+    if (kind == FrameworkKind::PyG)
+        return pyg;
+    return dgl;
+}
+
+std::vector<FrameworkKind>
+allFrameworks()
+{
+    return {FrameworkKind::PyG, FrameworkKind::DGL};
+}
+
+} // namespace gnnperf

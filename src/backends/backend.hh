@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The GNN-framework abstraction under study.
+ *
+ * The paper compares PyTorch Geometric and Deep Graph Library. Both
+ * expose the same logical operations to model code — batch collation,
+ * neighborhood aggregation, edge softmax, readout — but implement them
+ * with different mechanisms, and those mechanisms are exactly what the
+ * paper measures. Backend is the seam: the six models are written once
+ * against this interface, and the two implementations reproduce each
+ * framework's engineering choices (see pyg/ and dgl/).
+ *
+ * All Var-returning operations are differentiable.
+ */
+
+#ifndef GNNPERF_BACKENDS_BACKEND_HH
+#define GNNPERF_BACKENDS_BACKEND_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hh"
+#include "graph/batched_graph.hh"
+
+namespace gnnperf {
+
+/** Which framework implementation. */
+enum class FrameworkKind { PyG, DGL };
+
+/** "PyG" / "DGL". */
+const char *frameworkName(FrameworkKind kind);
+
+/** Reduction mode for neighborhood aggregation. */
+enum class Reduce { Sum, Mean, Max };
+
+/**
+ * Framework backend interface.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual FrameworkKind kind() const = 0;
+
+    /** Display name; ablation variants override it. */
+    virtual const char *name() const { return frameworkName(kind()); }
+
+    /**
+     * Host-side per-op dispatch overhead in seconds. Stamped into the
+     * Timeline replay: every kernel launch costs this much host time
+     * (the Python/framework layers between user code and CUDA).
+     */
+    virtual double dispatchOverhead() const = 0;
+
+    /**
+     * Collate a list of graphs into one batched graph and move its
+     * features to the device. This is the "data loading" work of the
+     * paper's Figs. 1/2 (the caller wraps it in a DataLoading phase
+     * scope).
+     */
+    virtual BatchedGraph
+    collate(const std::vector<const Graph *> &graphs) const = 0;
+
+    /** out[v] = reduce over in-neighbors u of x[u]. */
+    virtual Var aggregate(BatchedGraph &g, const Var &x,
+                          Reduce reduce) const = 0;
+
+    /**
+     * out[v, h*D+d] = Σ_{(u→v)=e} w[e,h] · x[u, h*D+d].
+     * w is [E, heads]; heads == x width gives elementwise gating
+     * (GatedGCN), heads == 1 gives scalar edge weights (MoNet).
+     */
+    virtual Var aggregateWeighted(BatchedGraph &g, const Var &x,
+                                  const Var &w,
+                                  int64_t heads) const = 0;
+
+    /** out[v] = Σ over incoming edges e of edge features e_attr[e]. */
+    virtual Var aggregateEdges(BatchedGraph &g,
+                               const Var &e_attr) const = 0;
+
+    /** Per-destination softmax of per-edge logits [E, heads]. */
+    virtual Var edgeSoftmax(BatchedGraph &g,
+                            const Var &logits) const = 0;
+
+    /** Per-edge gather of endpoint features. */
+    virtual Var gatherSrc(BatchedGraph &g, const Var &x) const;
+    virtual Var gatherDst(BatchedGraph &g, const Var &x) const;
+
+    /** Graph-level mean readout: [N,F] → [numGraphs,F]. */
+    virtual Var readoutMean(BatchedGraph &g, const Var &x) const = 0;
+
+    /**
+     * Whether GatedGCN must maintain an explicit edge-feature stream
+     * (paper §IV-A observation 3: DGL's implementation updates all
+     * edge features through a fully connected layer; PyG's does not).
+     */
+    virtual bool requiresEdgeFeatures() const = 0;
+};
+
+/** The process-wide backend instance for a framework. */
+Backend &getBackend(FrameworkKind kind);
+
+/** Both frameworks, in presentation order (PyG first, as the tables). */
+std::vector<FrameworkKind> allFrameworks();
+
+} // namespace gnnperf
+
+#endif // GNNPERF_BACKENDS_BACKEND_HH

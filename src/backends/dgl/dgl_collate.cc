@@ -1,0 +1,139 @@
+/**
+ * @file
+ * DGL batch collation (dgl.batch).
+ *
+ * The slow path the paper dissects (§IV-C): every input graph gets
+ * heterograph treatment (type metadata + endpoint validation), node
+ * features are merged through DGL's own per-element frame path rather
+ * than a contiguous torch.cat, and the batched graph eagerly
+ * materialises COO, CSR and CSC so kernels can pick any format. The
+ * extra host time and the extra device-resident format storage are
+ * exactly the mechanisms behind the paper's Figs. 1/2/4 gaps.
+ */
+
+#include "backends/dgl/dgl_backend.hh"
+
+#include "backends/dgl/hetero_graph.hh"
+#include "common/logging.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+
+BatchedGraph
+DglBackend::collate(const std::vector<const Graph *> &graphs) const
+{
+    gnnperf_assert(!graphs.empty(), "collate: empty batch");
+
+    BatchedGraph batch;
+    batch.numGraphs = static_cast<int64_t>(graphs.size());
+    batch.heteroProcessed = true;
+
+    int64_t total_nodes = 0, total_edges = 0;
+    const int64_t f = graphs[0]->x.dim(1);
+    for (const Graph *g : graphs) {
+        gnnperf_assert(g->x.defined() && g->x.dim(1) == f,
+                       "collate: inconsistent feature width");
+        total_nodes += g->numNodes;
+        total_edges += g->numEdges();
+    }
+    batch.numNodes = total_nodes;
+    batch.graphPtr.reserve(graphs.size() + 1);
+    batch.graphPtr.push_back(0);
+
+    // Per-graph heterograph handling: metadata + validation for every
+    // member of the batch, plus dgl.batch's own per-graph work.
+    for (const Graph *g : graphs) {
+        HeteroGraphMeta meta =
+            buildHeteroMeta(g->numNodes, g->edgeSrc, g->edgeDst);
+        validateHeteroEdges(meta, g->numNodes, g->edgeSrc, g->edgeDst);
+    }
+    recordHost("dgl.batch", HostOpKind::MetaBuild, 0.0,
+               kCollateOpsPerGraph * static_cast<double>(graphs.size()));
+
+    // Feature merge through DGL's frame scheme: per-graph indexed
+    // copies (not a single contiguous torch.cat — DGL's data
+    // processing "can not use the highly efficient data operations
+    // provided by PyTorch", §IV-C).
+    Tensor x_host({total_nodes, f}, DeviceKind::Host);
+    {
+        float *dst = x_host.data();
+        for (const Graph *g : graphs) {
+            const float *src_p = g->x.data();
+            const int64_t count = g->x.numel();
+            for (int64_t i = 0; i < count; ++i)
+                dst[i] = src_p[i];
+            dst += count;
+            recordHost("dgl.frame_merge", HostOpKind::IndexedGather,
+                       static_cast<double>(g->x.bytes()), 1.0);
+        }
+    }
+
+    // Edge relabelling + batch bookkeeping.
+    batch.edgeSrc.reserve(static_cast<std::size_t>(total_edges));
+    batch.edgeDst.reserve(static_cast<std::size_t>(total_edges));
+    batch.nodeGraph.reserve(static_cast<std::size_t>(total_nodes));
+    int64_t node_offset = 0;
+    int64_t gid = 0;
+    for (const Graph *g : graphs) {
+        for (std::size_t e = 0; e < g->edgeSrc.size(); ++e) {
+            batch.edgeSrc.push_back(g->edgeSrc[e] + node_offset);
+            batch.edgeDst.push_back(g->edgeDst[e] + node_offset);
+        }
+        for (int64_t i = 0; i < g->numNodes; ++i)
+            batch.nodeGraph.push_back(gid);
+        if (g->graphLabel >= 0)
+            batch.graphLabels.push_back(g->graphLabel);
+        for (int64_t label : g->nodeLabels)
+            batch.nodeLabels.push_back(label);
+        node_offset += g->numNodes;
+        batch.graphPtr.push_back(node_offset);
+        ++gid;
+    }
+    recordHost("dgl.relabel_edges", HostOpKind::IndexedGather,
+               static_cast<double>(total_edges) * 2.0 * sizeof(int64_t),
+               1.0);
+
+    // Node-task split indices (single-graph batches).
+    if (graphs.size() == 1) {
+        const Graph *g = graphs[0];
+        batch.trainIdx = Graph::maskIndices(g->trainMask);
+        batch.valIdx = Graph::maskIndices(g->valMask);
+        batch.testIdx = Graph::maskIndices(g->testMask);
+    }
+
+    // Eager format materialisation: COO is given; build CSR and CSC
+    // now (real index construction work, priced by its byte traffic).
+    batch.ensureInIndex();
+    batch.ensureOutIndex();
+    recordHost("dgl.build_formats", HostOpKind::IndexedGather,
+               2.0 * (static_cast<double>(total_edges) * 2.0 +
+                      static_cast<double>(total_nodes)) *
+                   sizeof(int64_t),
+               2.0);
+
+    // Device transfer: features, plus COO+CSR+CSC structure storage
+    // (≈ (2E) + (E+N) + (E+N) int64 values).
+    batch.x = x_host.to(DeviceKind::Cuda);
+    const double structure_bytes =
+        (4.0 * static_cast<double>(total_edges) +
+         2.0 * static_cast<double>(total_nodes)) * sizeof(int64_t);
+    recordHost("dgl.formats_h2d", HostOpKind::H2DTransfer,
+               structure_bytes, 3.0);
+    batch.deviceStructures.push_back(Tensor(
+        {total_edges * 8 + total_nodes * 4}, DeviceKind::Cuda));
+
+    // In-degrees on device.
+    batch.inDegrees = Tensor::zeros({total_nodes}, DeviceKind::Cuda);
+    {
+        float *p = batch.inDegrees.data();
+        for (int64_t v : batch.edgeDst)
+            p[v] += 1.0f;
+        recordKernel("degree", static_cast<double>(total_edges),
+                     static_cast<double>(total_edges) * sizeof(int64_t) +
+                         static_cast<double>(batch.inDegrees.bytes()));
+    }
+
+    return batch;
+}
+
+} // namespace gnnperf

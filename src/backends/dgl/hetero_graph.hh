@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Heterograph metadata — the per-graph bookkeeping DGL performs even
+ * for homogeneous graphs.
+ *
+ * DGL 0.5 represents every graph as a heterograph: a canonical edge
+ * type triple (src type, relation, dst type), per-type node counts,
+ * per-type edge id spaces, and a unit-graph per relation that can
+ * materialise COO/CSR/CSC formats. For the homogeneous graphs of the
+ * paper's datasets all of this collapses to a single type, but the
+ * construction work is still performed — that is the "extra-time loss"
+ * of §IV-C. We build the metadata for real (type arrays, per-type
+ * counters, format conversion) so its cost scales with graph size
+ * exactly as DGL's does.
+ */
+
+#ifndef GNNPERF_BACKENDS_DGL_HETERO_GRAPH_HH
+#define GNNPERF_BACKENDS_DGL_HETERO_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace gnnperf {
+
+/**
+ * Metadata of one relation (canonical edge type) in a heterograph.
+ */
+struct RelationMeta
+{
+    std::string srcType = "_N";
+    std::string relation = "_E";
+    std::string dstType = "_N";
+    int64_t numSrcNodes = 0;
+    int64_t numDstNodes = 0;
+    int64_t numEdges = 0;
+};
+
+/**
+ * Heterograph wrapper over a homogeneous edge list.
+ */
+struct HeteroGraphMeta
+{
+    std::vector<RelationMeta> relations;
+
+    /** Per-node type id (all zero for homogeneous graphs). */
+    std::vector<int32_t> nodeTypeIds;
+
+    /** Per-edge type id (all zero for homogeneous graphs). */
+    std::vector<int32_t> edgeTypeIds;
+
+    /** Per-type node counts. */
+    std::vector<int64_t> nodesPerType;
+
+    /** Per-type edge counts. */
+    std::vector<int64_t> edgesPerType;
+
+    /** Bytes of metadata constructed (for cost accounting). */
+    double metadataBytes() const;
+};
+
+/**
+ * Build heterograph metadata for one homogeneous graph. Emits a
+ * MetaBuild host record sized by the real work done.
+ */
+HeteroGraphMeta buildHeteroMeta(int64_t num_nodes,
+                                const std::vector<int64_t> &src,
+                                const std::vector<int64_t> &dst);
+
+/**
+ * Validate edge endpoints against the metadata (DGL checks these at
+ * graph construction). Emits a host record; panics on violation.
+ */
+void validateHeteroEdges(const HeteroGraphMeta &meta,
+                         int64_t num_nodes,
+                         const std::vector<int64_t> &src,
+                         const std::vector<int64_t> &dst);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_BACKENDS_DGL_HETERO_GRAPH_HH

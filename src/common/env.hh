@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Environment-variable driven scale knobs for the benchmark harnesses.
+ *
+ * All benches run a reduced default workload so that the full suite
+ * finishes in minutes on one CPU core, and honour:
+ *
+ *   GNNPERF_SCALE=full    — paper-scale protocol
+ *   GNNPERF_EPOCHS=N      — override epoch budget
+ *   GNNPERF_SEEDS=N       — override number of seeds / repeats
+ *   GNNPERF_FOLDS=N       — override number of CV folds
+ *   GNNPERF_QUIET=1       — suppress inform() output
+ */
+
+#ifndef GNNPERF_COMMON_ENV_HH
+#define GNNPERF_COMMON_ENV_HH
+
+#include <string>
+
+namespace gnnperf {
+
+/** Read an integer env var with a default. */
+int64_t envInt(const char *name, int64_t fallback);
+
+/** Read a string env var with a default. */
+std::string envString(const char *name, const std::string &fallback);
+
+/** True when GNNPERF_SCALE=full is set. */
+bool fullScale();
+
+/** Epoch budget: `fallback_smoke` unless overridden or full scale. */
+int64_t envEpochs(int64_t fallback_smoke, int64_t fallback_full);
+
+/** Seed count for repeated runs. */
+int64_t envSeeds(int64_t fallback_smoke, int64_t fallback_full);
+
+/** Fold count for cross-validation. */
+int64_t envFolds(int64_t fallback_smoke, int64_t fallback_full);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_COMMON_ENV_HH

@@ -1,0 +1,59 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace gnnperf {
+
+namespace {
+
+bool g_verbose = true;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+namespace detail {
+
+void
+log(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !g_verbose)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+}
+
+void
+logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n", levelTag(level), file, line,
+                 msg.c_str());
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace gnnperf

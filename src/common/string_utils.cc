@@ -1,0 +1,94 @@
+#include "common/string_utils.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace gnnperf {
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    }
+    va_end(ap2);
+    return out;
+}
+
+std::string
+formatDuration(double seconds)
+{
+    if (seconds >= 600.0)  // the paper switches to hours around here
+        return strprintf("%.2fhr", seconds / 3600.0);
+    if (seconds >= 100.0)
+        return strprintf("%.1fs", seconds);
+    if (seconds >= 1.0)
+        return strprintf("%.2fs", seconds);
+    return strprintf("%.4fs", seconds);
+}
+
+std::string
+formatBytes(std::size_t bytes)
+{
+    const double b = static_cast<double>(bytes);
+    if (b >= 1024.0 * 1024.0 * 1024.0)
+        return strprintf("%.2f GiB", b / (1024.0 * 1024.0 * 1024.0));
+    if (b >= 1024.0 * 1024.0)
+        return strprintf("%.1f MiB", b / (1024.0 * 1024.0));
+    if (b >= 1024.0)
+        return strprintf("%.1f KiB", b / 1024.0);
+    return strprintf("%zu B", bytes);
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+bool
+iequals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace gnnperf

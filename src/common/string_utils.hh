@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small string formatting helpers used by reports and benches.
+ */
+
+#ifndef GNNPERF_COMMON_STRING_UTILS_HH
+#define GNNPERF_COMMON_STRING_UTILS_HH
+
+#include <string>
+#include <vector>
+
+namespace gnnperf {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format seconds as "x.xxxx s" or "x.xx hr" like the paper's tables. */
+std::string formatDuration(double seconds);
+
+/** Format a byte count with a binary suffix (KiB/MiB/GiB). */
+std::string formatBytes(std::size_t bytes);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Left/right padding to a fixed width. */
+std::string padLeft(const std::string &s, std::size_t width);
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Case-insensitive string equality (ASCII). */
+bool iequals(const std::string &a, const std::string &b);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_COMMON_STRING_UTILS_HH

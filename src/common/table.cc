@@ -1,0 +1,82 @@
+#include "common/table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gnnperf {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    rightAlign_.clear();
+    for (auto &h : header) {
+        if (!h.empty() && h[0] == '>') {
+            rightAlign_.push_back(true);
+            h.erase(h.begin());
+        } else {
+            rightAlign_.push_back(false);
+        }
+    }
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    gnnperf_assert(row.size() == header_.size(),
+                   "table row width ", row.size(), " != header width ",
+                   header_.size());
+    rows_.push_back(Row{false, std::move(row)});
+    ++numRows_;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto renderSeparator = [&] {
+        std::string line = "+";
+        for (std::size_t w : widths)
+            line += std::string(w + 2, '-') + "+";
+        return line + "\n";
+    };
+    auto renderCells = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string &cell = cells[c];
+            line += ' ';
+            line += rightAlign_[c] ? padLeft(cell, widths[c])
+                                   : padRight(cell, widths[c]);
+            line += " |";
+        }
+        return line + "\n";
+    };
+
+    std::string out = renderSeparator();
+    out += renderCells(header_);
+    out += renderSeparator();
+    for (const auto &row : rows_) {
+        out += row.separator ? renderSeparator() : renderCells(row.cells);
+    }
+    out += renderSeparator();
+    return out;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harnesses to print
+ * paper-style tables (Table I/IV/V and the figure-series dumps).
+ */
+
+#ifndef GNNPERF_COMMON_TABLE_HH
+#define GNNPERF_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace gnnperf {
+
+/**
+ * A simple text table: set a header row, append body rows, render.
+ * Column widths are computed from content; all columns are left-aligned
+ * except ones whose header starts with '>' (right-aligned, marker is
+ * stripped for display).
+ */
+class TextTable
+{
+  public:
+    /** Set the header row (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a body row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal separator after the current last row. */
+    void addSeparator();
+
+    /** Render the table to a string (trailing newline included). */
+    std::string render() const;
+
+    /** Number of body rows (separators excluded). */
+    std::size_t rowCount() const { return numRows_; }
+
+  private:
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<bool> rightAlign_;
+    std::vector<Row> rows_;
+    std::size_t numRows_ = 0;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_COMMON_TABLE_HH

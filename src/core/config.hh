@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The paper's hyper-parameter tables (Table II for node
+ * classification, Table III for graph classification), baked in so
+ * every bench and example trains exactly the configurations the paper
+ * evaluates.
+ */
+
+#ifndef GNNPERF_CORE_CONFIG_HH
+#define GNNPERF_CORE_CONFIG_HH
+
+#include "models/gnn_model.hh"
+
+namespace gnnperf {
+
+/** Optimisation schedule. */
+struct TrainSetup
+{
+    float lr = 1e-3f;        ///< (initial) learning rate
+    int maxEpochs = 200;
+    int earlyStopPatience = 0;  ///< node tasks: val-accuracy patience
+    int lrPatience = 25;     ///< graph tasks: plateau patience
+    float lrFactor = 0.5f;
+    float minLr = 1e-6f;
+    int64_t batchSize = 128;
+};
+
+/** A model architecture plus its training schedule. */
+struct Hyperparameters
+{
+    ModelConfig model;
+    TrainSetup train;
+};
+
+/**
+ * Table II: node-classification settings (2 layers, full batch,
+ * ≤ 200 epochs).
+ */
+Hyperparameters nodeTaskHyperparameters(ModelKind kind,
+                                        int64_t in_features,
+                                        int64_t num_classes,
+                                        uint64_t seed);
+
+/**
+ * Table III: graph-classification settings (4 layers, batch 128,
+ * ReduceLROnPlateau 0.5/25/1e-6).
+ */
+Hyperparameters graphTaskHyperparameters(ModelKind kind,
+                                         int64_t in_features,
+                                         int64_t num_classes,
+                                         uint64_t seed);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_CORE_CONFIG_HH

@@ -1,0 +1,60 @@
+#include "core/evaluator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tensor/ops.hh"
+
+namespace gnnperf {
+
+double
+accuracy(const Tensor &logits, const std::vector<int64_t> &labels,
+         const std::vector<int64_t> &row_subset)
+{
+    gnnperf_assert(logits.rank() == 2, "accuracy: rank ", logits.rank());
+    gnnperf_assert(static_cast<int64_t>(labels.size()) == logits.dim(0),
+                   "accuracy: ", labels.size(), " labels for ",
+                   logits.dim(0), " rows");
+    std::vector<int64_t> preds = ops::argmaxRows(logits);
+    std::size_t correct = 0, total = 0;
+    if (row_subset.empty()) {
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            correct += preds[i] == labels[i] ? 1 : 0;
+            ++total;
+        }
+    } else {
+        for (int64_t r : row_subset) {
+            gnnperf_assert(r >= 0 &&
+                           r < static_cast<int64_t>(labels.size()),
+                           "accuracy: row ", r, " out of range");
+            correct += preds[static_cast<std::size_t>(r)] ==
+                       labels[static_cast<std::size_t>(r)] ? 1 : 0;
+            ++total;
+        }
+    }
+    return total > 0 ? static_cast<double>(correct) /
+                           static_cast<double>(total) : 0.0;
+}
+
+SeriesStats
+computeStats(const std::vector<double> &values)
+{
+    SeriesStats stats;
+    stats.count = values.size();
+    if (values.empty())
+        return stats;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    stats.mean = sum / static_cast<double>(values.size());
+    if (values.size() > 1) {
+        double ss = 0.0;
+        for (double v : values)
+            ss += (v - stats.mean) * (v - stats.mean);
+        stats.stddev = std::sqrt(
+            ss / static_cast<double>(values.size() - 1));
+    }
+    return stats;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Accuracy metrics and summary statistics (paper §IV-B.3).
+ */
+
+#ifndef GNNPERF_CORE_EVALUATOR_HH
+#define GNNPERF_CORE_EVALUATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.hh"
+
+namespace gnnperf {
+
+/**
+ * Classification accuracy of logits against labels over a row subset
+ * (empty subset = all rows).
+ */
+double accuracy(const Tensor &logits, const std::vector<int64_t> &labels,
+                const std::vector<int64_t> &row_subset = {});
+
+/** Mean and (sample) standard deviation of a series. */
+struct SeriesStats
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    std::size_t count = 0;
+};
+
+SeriesStats computeStats(const std::vector<double> &values);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_CORE_EVALUATOR_HH

@@ -1,0 +1,420 @@
+#include "core/trainer.hh"
+
+#include <limits>
+
+#include "autograd/functions.hh"
+#include "common/logging.hh"
+#include "core/evaluator.hh"
+#include "device/profiler.hh"
+#include "nn/loss.hh"
+#include "nn/lr_scheduler.hh"
+#include "nn/optimizer.hh"
+
+namespace gnnperf {
+
+EpochBreakdown
+EpochBreakdown::fromTimeline(const TimelineResult &t)
+{
+    EpochBreakdown b;
+    b.dataLoading = t.phaseElapsed[Phase::DataLoading];
+    b.forward = t.phaseElapsed[Phase::Forward];
+    b.backward = t.phaseElapsed[Phase::Backward];
+    b.update = t.phaseElapsed[Phase::Update];
+    b.other = t.phaseElapsed[Phase::Other];
+    return b;
+}
+
+namespace {
+
+/** Accumulates per-epoch timeline results into a ProfileResult. */
+class ProfileAccumulator
+{
+  public:
+    void
+    add(const TimelineResult &t)
+    {
+        ++epochs_;
+        EpochBreakdown b = EpochBreakdown::fromTimeline(t);
+        sum_.dataLoading += b.dataLoading;
+        sum_.forward += b.forward;
+        sum_.backward += b.backward;
+        sum_.update += b.update;
+        sum_.other += b.other;
+        busy_ += t.phaseGpuBusy[Phase::DataLoading] +
+                 t.phaseGpuBusy[Phase::Forward] +
+                 t.phaseGpuBusy[Phase::Backward] +
+                 t.phaseGpuBusy[Phase::Update] +
+                 t.phaseGpuBusy[Phase::Other];
+        kernels_ += t.phaseKernels[static_cast<int>(Phase::Forward)] +
+                    t.phaseKernels[static_cast<int>(Phase::Backward)] +
+                    t.phaseKernels[static_cast<int>(Phase::Update)];
+        if (layerSums_.size() < t.layerElapsed.size())
+            layerSums_.resize(t.layerElapsed.size(), 0.0);
+        for (std::size_t i = 0; i < t.layerElapsed.size(); ++i)
+            layerSums_[i] += t.layerElapsed[i];
+        layerNames_ = t.layerNames;
+    }
+
+    ProfileResult
+    finish(std::size_t iterations_per_epoch) const
+    {
+        ProfileResult p;
+        if (epochs_ == 0)
+            return p;
+        const double inv = 1.0 / static_cast<double>(epochs_);
+        p.breakdown.dataLoading = sum_.dataLoading * inv;
+        p.breakdown.forward = sum_.forward * inv;
+        p.breakdown.backward = sum_.backward * inv;
+        p.breakdown.update = sum_.update * inv;
+        p.breakdown.other = sum_.other * inv;
+        p.epochTime = p.breakdown.total();
+        p.gpuUtilization =
+            p.epochTime > 0.0 ? (busy_ * inv) / p.epochTime : 0.0;
+        p.kernelsPerEpoch = kernels_ / epochs_;
+        p.peakMemoryBytes = DeviceManager::instance().cudaPeak();
+        const double iter_inv =
+            iterations_per_epoch > 0
+                ? inv / static_cast<double>(iterations_per_epoch) : inv;
+        for (std::size_t i = 0; i < layerSums_.size(); ++i) {
+            p.layerTimes.emplace_back(
+                i < layerNames_.size() ? layerNames_[i] : "?",
+                layerSums_[i] * iter_inv);
+        }
+        return p;
+    }
+
+  private:
+    std::size_t epochs_ = 0;
+    EpochBreakdown sum_;
+    double busy_ = 0.0;
+    std::size_t kernels_ = 0;
+    std::vector<double> layerSums_;
+    std::vector<std::string> layerNames_;
+};
+
+/** Replay the current trace and clear it. */
+TimelineResult
+replayAndClear(const Backend &backend)
+{
+    Profiler &prof = Profiler::instance();
+    TimelineResult t = Timeline::replay(prof.trace(),
+                                        CostModel::defaultModel(),
+                                        backend.dispatchOverhead(),
+                                        prof.layerNames());
+    prof.clearTrace();
+    return t;
+}
+
+/** Evaluation forward pass under no-grad, in Evaluation phase. */
+Tensor
+evalLogits(GnnModel &model, BatchedGraph &batch)
+{
+    NoGradGuard no_grad;
+    PhaseScope phase(Phase::Evaluation);
+    model.train(false);
+    Tensor logits = model.forward(batch).value();
+    model.train(true);
+    return logits;
+}
+
+} // namespace
+
+NodeTrainResult
+trainNodeTask(ModelKind kind, const Backend &backend,
+              const NodeDataset &dataset, const TrainOptions &opts)
+{
+    Profiler &prof = Profiler::instance();
+    prof.reset();
+    prof.setEnabled(true);
+    DeviceManager::instance().resetCudaPeak();
+
+    Hyperparameters hp = nodeTaskHyperparameters(
+        kind, dataset.numFeatures, dataset.numClasses, opts.seed);
+    const int max_epochs =
+        opts.maxEpochs > 0 ? opts.maxEpochs : hp.train.maxEpochs;
+
+    auto model = makeModel(kind, backend, hp.model);
+    nn::Adam optimizer(model->parameters(), hp.train.lr);
+
+    // The single graph is collated (and moved to the device) once —
+    // transductive training keeps it resident, so the per-epoch time
+    // has no data-loading share.
+    std::vector<const Graph *> members{&dataset.graph};
+    BatchedGraph batch;
+    {
+        PhaseScope phase(Phase::DataLoading);
+        batch = backend.collate(members);
+    }
+    prof.clearTrace();  // one-time setup excluded from epoch times
+
+    NodeTrainResult result;
+    ProfileAccumulator acc;
+    double best_val = -1.0;
+    double test_at_best = 0.0;
+    int bad_epochs = 0;
+    double total_time = 0.0;
+
+    for (int epoch = 0; epoch < max_epochs; ++epoch) {
+        // --- training step (full batch) ---
+        Var logits;
+        {
+            PhaseScope phase(Phase::Forward);
+            logits = model->forward(batch);
+        }
+        Var loss;
+        {
+            PhaseScope phase(Phase::Other);
+            loss = nn::crossEntropy(logits, batch.nodeLabels,
+                                    batch.trainIdx);
+        }
+        {
+            PhaseScope phase(Phase::Backward);
+            model->zeroGrad();
+            loss.backward();
+        }
+        {
+            PhaseScope phase(Phase::Update);
+            optimizer.step();
+        }
+
+        // --- evaluation (validation + test accuracy) ---
+        Tensor eval_logits = evalLogits(*model, batch);
+        const double val_acc =
+            accuracy(eval_logits, batch.nodeLabels, batch.valIdx);
+        const double test_acc =
+            accuracy(eval_logits, batch.nodeLabels, batch.testIdx);
+
+        TimelineResult t = replayAndClear(backend);
+        acc.add(t);
+        total_time += t.elapsed;
+        ++result.epochsRun;
+
+        if (val_acc > best_val) {
+            best_val = val_acc;
+            test_at_best = test_acc;
+            bad_epochs = 0;
+        } else if (hp.train.earlyStopPatience > 0 &&
+                   ++bad_epochs > hp.train.earlyStopPatience) {
+            break;
+        }
+        if (opts.verbose && epoch % 20 == 0) {
+            gnnperf_inform(model->name(), "/", backend.name(),
+                           " epoch ", epoch, " loss ", loss.item(),
+                           " val ", val_acc);
+        }
+    }
+
+    result.profile = acc.finish(1);
+    result.epochTime = result.profile.epochTime;
+    result.totalTime = total_time;
+    result.bestValAccuracy = best_val;
+    result.testAccuracy = test_at_best;
+    return result;
+}
+
+namespace {
+
+/** One training epoch over the loader; returns iterations executed. */
+std::size_t
+runTrainEpoch(GnnModel &model, nn::Adam &optimizer, DataLoader &loader)
+{
+    loader.startEpoch();
+    BatchedGraph batch;
+    std::size_t iterations = 0;
+    while (loader.next(batch)) {
+        Var logits;
+        {
+            PhaseScope phase(Phase::Forward);
+            logits = model.forward(batch);
+        }
+        Var loss;
+        {
+            PhaseScope phase(Phase::Other);
+            loss = nn::crossEntropy(logits, batch.graphLabels);
+        }
+        {
+            PhaseScope phase(Phase::Backward);
+            model.zeroGrad();
+            loss.backward();
+        }
+        {
+            PhaseScope phase(Phase::Update);
+            optimizer.step();
+        }
+        ++iterations;
+    }
+    return iterations;
+}
+
+/** Mean loss / accuracy over an evaluation loader. */
+std::pair<double, double>
+evaluateLoader(GnnModel &model, DataLoader &loader)
+{
+    NoGradGuard no_grad;
+    PhaseScope phase(Phase::Evaluation);
+    model.train(false);
+    loader.startEpoch();
+    BatchedGraph batch;
+    double loss_sum = 0.0;
+    double correct = 0.0;
+    int64_t total = 0;
+    while (loader.next(batch)) {
+        Var logits = model.forward(batch);
+        Var loss = nn::crossEntropy(logits, batch.graphLabels);
+        const auto batch_n =
+            static_cast<int64_t>(batch.graphLabels.size());
+        loss_sum += loss.item() * static_cast<double>(batch_n);
+        correct += accuracy(logits.value(), batch.graphLabels) *
+                   static_cast<double>(batch_n);
+        total += batch_n;
+    }
+    model.train(true);
+    if (total == 0)
+        return {0.0, 0.0};
+    return {loss_sum / static_cast<double>(total),
+            correct / static_cast<double>(total)};
+}
+
+} // namespace
+
+GraphTrainResult
+trainGraphTask(ModelKind kind, const Backend &backend,
+               const GraphDataset &dataset, const FoldSplit &fold,
+               const TrainOptions &opts)
+{
+    Profiler &prof = Profiler::instance();
+    prof.reset();
+    prof.setEnabled(true);
+    DeviceManager::instance().resetCudaPeak();
+
+    Hyperparameters hp = graphTaskHyperparameters(
+        kind, dataset.numFeatures, dataset.numClasses, opts.seed);
+    const int max_epochs =
+        opts.maxEpochs > 0 ? opts.maxEpochs : hp.train.maxEpochs;
+    const int64_t batch_size =
+        opts.batchSize > 0 ? opts.batchSize : hp.train.batchSize;
+
+    auto model = makeModel(kind, backend, hp.model);
+    nn::Adam optimizer(model->parameters(), hp.train.lr);
+    nn::ReduceLROnPlateau scheduler(optimizer, hp.train.lrFactor,
+                                    hp.train.lrPatience,
+                                    hp.train.minLr);
+
+    DataLoader train_loader(dataset, fold.train, batch_size, backend,
+                            /*shuffle=*/true, opts.seed);
+    DataLoader val_loader(dataset, fold.val, batch_size, backend,
+                          /*shuffle=*/false, opts.seed + 1);
+    DataLoader test_loader(dataset, fold.test, batch_size, backend,
+                           /*shuffle=*/false, opts.seed + 2);
+
+    GraphTrainResult result;
+    ProfileAccumulator acc;
+    double total_time = 0.0;
+    std::size_t iters_per_epoch = 1;
+
+    for (int epoch = 0; epoch < max_epochs; ++epoch) {
+        iters_per_epoch = runTrainEpoch(*model, optimizer,
+                                        train_loader);
+        auto [val_loss, val_acc] = evaluateLoader(*model, val_loader);
+        scheduler.step(val_loss);
+        result.finalValLoss = val_loss;
+
+        TimelineResult t = replayAndClear(backend);
+        acc.add(t);
+        total_time += t.elapsed;
+        ++result.epochsRun;
+
+        if (opts.verbose && epoch % 10 == 0) {
+            gnnperf_inform(model->name(), "/", backend.name(),
+                           " epoch ", epoch, " val_loss ", val_loss,
+                           " val_acc ", val_acc, " lr ",
+                           optimizer.learningRate());
+        }
+        if (scheduler.shouldStop())
+            break;
+    }
+
+    // Paper: end-of-training parameters evaluated on the test split.
+    auto [test_loss, test_acc] = evaluateLoader(*model, test_loader);
+    (void)test_loss;
+    prof.clearTrace();
+
+    result.profile = acc.finish(iters_per_epoch);
+    result.epochTime = result.profile.epochTime;
+    result.totalTime = total_time;
+    result.testAccuracy = test_acc;
+    return result;
+}
+
+ProfileResult
+profileGraphTask(ModelKind kind, const Backend &backend,
+                 const GraphDataset &dataset, const FoldSplit &fold,
+                 int epochs, int64_t batch_size, uint64_t seed)
+{
+    TrainOptions opts;
+    opts.maxEpochs = epochs;
+    opts.batchSize = batch_size;
+    opts.seed = seed;
+    GraphTrainResult r = trainGraphTask(kind, backend, dataset, fold,
+                                        opts);
+    return r.profile;
+}
+
+InferenceProfile
+profileInference(ModelKind kind, const Backend &backend,
+                 const GraphDataset &dataset, int64_t batch_size,
+                 int repeats, uint64_t seed)
+{
+    gnnperf_assert(repeats > 0, "profileInference: repeats <= 0");
+    Profiler &prof = Profiler::instance();
+    prof.reset();
+    prof.setEnabled(true);
+
+    Hyperparameters hp = graphTaskHyperparameters(
+        kind, dataset.numFeatures, dataset.numClasses, seed);
+    auto model = makeModel(kind, backend, hp.model);
+    model->train(false);
+    NoGradGuard no_grad;
+
+    std::vector<int64_t> all(dataset.graphs.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = static_cast<int64_t>(i);
+    DataLoader loader(dataset, all, batch_size, backend,
+                      /*shuffle=*/false, seed);
+    loader.startEpoch();
+
+    InferenceProfile result;
+    int64_t graphs_seen = 0;
+    double total = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+        BatchedGraph batch;
+        if (!loader.next(batch)) {
+            loader.startEpoch();
+            gnnperf_assert(loader.next(batch),
+                           "profileInference: empty loader");
+        }
+        {
+            PhaseScope phase(Phase::Forward);
+            model->forward(batch);
+        }
+        TimelineResult t = Timeline::replay(prof.trace(),
+                                            CostModel::defaultModel(),
+                                            backend.dispatchOverhead(),
+                                            prof.layerNames());
+        prof.clearTrace();
+        result.loadLatency += t.phaseElapsed[Phase::DataLoading];
+        result.forwardLatency += t.phaseElapsed[Phase::Forward];
+        result.kernels +=
+            t.phaseKernels[static_cast<int>(Phase::Forward)];
+        total += t.elapsed;
+        graphs_seen += batch.numGraphs;
+    }
+    result.loadLatency /= repeats;
+    result.forwardLatency /= repeats;
+    result.kernels /= static_cast<std::size_t>(repeats);
+    result.graphsPerSecond =
+        total > 0.0 ? static_cast<double>(graphs_seen) / total : 0.0;
+    return result;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Training drivers with built-in performance profiling.
+ *
+ * Two loops, matching the paper's protocols:
+ *  - trainNodeTask: transductive full-batch training (Cora/PubMed,
+ *    §IV-A) — Adam, ≤ 200 epochs, early stopping on validation
+ *    accuracy;
+ *  - trainGraphTask: mini-batch training over one CV fold
+ *    (ENZYMES/DD, §IV-B) — Adam with ReduceLROnPlateau(0.5, 25)
+ *    stopping at lr ≤ 1e-6, end-of-training parameters evaluated on
+ *    the test split.
+ *
+ * Every epoch's trace is replayed through the Timeline, producing the
+ * simulated per-epoch time, the phase breakdown (Figs. 1/2), the
+ * layer-wise times (Fig. 3), GPU utilization (Fig. 5) and — via the
+ * device allocator — peak memory (Fig. 4).
+ */
+
+#ifndef GNNPERF_CORE_TRAINER_HH
+#define GNNPERF_CORE_TRAINER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "data/dataloader.hh"
+#include "data/splits.hh"
+#include "device/timeline.hh"
+#include "models/model_factory.hh"
+
+namespace gnnperf {
+
+/** Per-epoch execution-time breakdown (simulated seconds). */
+struct EpochBreakdown
+{
+    double dataLoading = 0.0;
+    double forward = 0.0;
+    double backward = 0.0;
+    double update = 0.0;
+    double other = 0.0;
+
+    double
+    total() const
+    {
+        return dataLoading + forward + backward + update + other;
+    }
+
+    /** Extract the training phases from a timeline result. */
+    static EpochBreakdown fromTimeline(const TimelineResult &t);
+};
+
+/** Profiling outputs common to both tasks. */
+struct ProfileResult
+{
+    double epochTime = 0.0;       ///< avg simulated training epoch
+    EpochBreakdown breakdown;     ///< avg per epoch
+    double gpuUtilization = 0.0;  ///< busy / elapsed over training
+    std::size_t peakMemoryBytes = 0;
+    std::size_t kernelsPerEpoch = 0;
+    /** Forward-pass time per layer scope, avg per iteration. */
+    std::vector<std::pair<std::string, double>> layerTimes;
+};
+
+/** Result of one node-classification run. */
+struct NodeTrainResult
+{
+    double testAccuracy = 0.0;
+    double bestValAccuracy = 0.0;
+    int epochsRun = 0;
+    double epochTime = 0.0;  ///< simulated s/epoch (training only)
+    double totalTime = 0.0;  ///< simulated s, incl. per-epoch eval
+    ProfileResult profile;
+};
+
+/** Result of one graph-classification run (one fold). */
+struct GraphTrainResult
+{
+    double testAccuracy = 0.0;
+    double finalValLoss = 0.0;
+    int epochsRun = 0;
+    double epochTime = 0.0;
+    double totalTime = 0.0;
+    ProfileResult profile;
+};
+
+/** Knobs shared by the drivers. */
+struct TrainOptions
+{
+    int maxEpochs = 0;        ///< 0 = use the hyperparameter table
+    int64_t batchSize = 0;    ///< 0 = use the hyperparameter table
+    uint64_t seed = 1;        ///< data/shuffle/init seed
+    bool verbose = false;
+};
+
+/** Full-batch transductive training (Table IV protocol). */
+NodeTrainResult trainNodeTask(ModelKind kind, const Backend &backend,
+                              const NodeDataset &dataset,
+                              const TrainOptions &opts);
+
+/** Mini-batch graph classification over one fold (Table V protocol). */
+GraphTrainResult trainGraphTask(ModelKind kind, const Backend &backend,
+                                const GraphDataset &dataset,
+                                const FoldSplit &fold,
+                                const TrainOptions &opts);
+
+/**
+ * Profile-only run: trains for a few epochs and returns the profile
+ * (used by the Fig. 1–5 benches, which need timing/memory shape but
+ * not converged accuracy).
+ */
+ProfileResult profileGraphTask(ModelKind kind, const Backend &backend,
+                               const GraphDataset &dataset,
+                               const FoldSplit &fold, int epochs,
+                               int64_t batch_size, uint64_t seed);
+
+/** Inference latency/throughput of one batch (paper abstract:
+ *  "performance (latency, bandwidth, ...)"). */
+struct InferenceProfile
+{
+    double loadLatency = 0.0;     ///< collation + H2D, simulated s
+    double forwardLatency = 0.0;  ///< eval forward pass, simulated s
+    double graphsPerSecond = 0.0; ///< end-to-end throughput
+    std::size_t kernels = 0;      ///< launches per forward pass
+};
+
+/**
+ * Measure eval-mode inference on batches of the given size
+ * (averaged over `repeats` batches).
+ */
+InferenceProfile profileInference(ModelKind kind,
+                                  const Backend &backend,
+                                  const GraphDataset &dataset,
+                                  int64_t batch_size, int repeats,
+                                  uint64_t seed);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_CORE_TRAINER_HH

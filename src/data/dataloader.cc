@@ -1,0 +1,63 @@
+#include "data/dataloader.hh"
+
+#include "common/logging.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+
+DataLoader::DataLoader(const GraphDataset &dataset,
+                       std::vector<int64_t> indices, int64_t batch_size,
+                       const Backend &backend, bool shuffle,
+                       uint64_t seed)
+    : dataset_(dataset),
+      indices_(std::move(indices)),
+      batchSize_(batch_size),
+      backend_(backend),
+      shuffle_(shuffle),
+      rng_(seed)
+{
+    gnnperf_assert(batchSize_ > 0, "DataLoader: batch size <= 0");
+    gnnperf_assert(!indices_.empty(), "DataLoader: empty index set");
+    for (int64_t idx : indices_) {
+        gnnperf_assert(idx >= 0 && idx < static_cast<int64_t>(
+                           dataset_.graphs.size()),
+                       "DataLoader: index ", idx, " out of range");
+    }
+}
+
+void
+DataLoader::startEpoch()
+{
+    cursor_ = 0;
+    if (shuffle_)
+        rng_.shuffle(indices_);
+}
+
+bool
+DataLoader::next(BatchedGraph &out)
+{
+    if (cursor_ >= indices_.size())
+        return false;
+    PhaseScope phase(Phase::DataLoading);
+    const std::size_t end = std::min(
+        cursor_ + static_cast<std::size_t>(batchSize_), indices_.size());
+    std::vector<const Graph *> members;
+    members.reserve(end - cursor_);
+    for (std::size_t i = cursor_; i < end; ++i) {
+        members.push_back(&dataset_.graphs[static_cast<std::size_t>(
+            indices_[i])]);
+    }
+    cursor_ = end;
+    out = backend_.collate(members);
+    return true;
+}
+
+int64_t
+DataLoader::numBatches() const
+{
+    return static_cast<int64_t>(
+        (indices_.size() + static_cast<std::size_t>(batchSize_) - 1) /
+        static_cast<std::size_t>(batchSize_));
+}
+
+} // namespace gnnperf

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Mini-batch loader: shuffles sample indices each epoch and collates
+ * batches through the framework backend, stamping everything it does
+ * with the DataLoading phase (paper Figs. 1/2: "data loading time
+ * includes not only data fetching from memory, but also data
+ * processing").
+ */
+
+#ifndef GNNPERF_DATA_DATALOADER_HH
+#define GNNPERF_DATA_DATALOADER_HH
+
+#include "backends/backend.hh"
+#include "common/random.hh"
+#include "data/dataset.hh"
+
+namespace gnnperf {
+
+/**
+ * Iterates a GraphDataset subset in mini-batches.
+ */
+class DataLoader
+{
+  public:
+    /**
+     * @param dataset dataset to draw from (must outlive the loader)
+     * @param indices subset to iterate (e.g. a fold's train indices)
+     * @param batch_size graphs per batch (paper: 128 default)
+     * @param backend framework whose collation builds the batch
+     * @param shuffle reshuffle at every epoch start
+     * @param seed shuffle seed
+     */
+    DataLoader(const GraphDataset &dataset, std::vector<int64_t> indices,
+               int64_t batch_size, const Backend &backend, bool shuffle,
+               uint64_t seed);
+
+    /** Reset to the first batch, reshuffling when enabled. */
+    void startEpoch();
+
+    /**
+     * Produce the next batch. Returns false at epoch end.
+     * Collation work is recorded under Phase::DataLoading.
+     */
+    bool next(BatchedGraph &out);
+
+    int64_t numBatches() const;
+    int64_t batchSize() const { return batchSize_; }
+    int64_t sampleCount() const
+    {
+        return static_cast<int64_t>(indices_.size());
+    }
+
+  private:
+    const GraphDataset &dataset_;
+    std::vector<int64_t> indices_;
+    int64_t batchSize_;
+    const Backend &backend_;
+    bool shuffle_;
+    Rng rng_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_DATA_DATALOADER_HH

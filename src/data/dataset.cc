@@ -1,0 +1,48 @@
+#include "data/dataset.hh"
+
+namespace gnnperf {
+
+DatasetInfo
+GraphDataset::info() const
+{
+    DatasetInfo out;
+    out.name = name;
+    out.numGraphs = static_cast<int64_t>(graphs.size());
+    double nodes = 0.0, edges = 0.0;
+    for (const Graph &g : graphs) {
+        nodes += static_cast<double>(g.numNodes);
+        edges += static_cast<double>(g.numEdges()) / 2.0;
+    }
+    if (!graphs.empty()) {
+        out.avgNodes = nodes / static_cast<double>(graphs.size());
+        out.avgEdges = edges / static_cast<double>(graphs.size());
+    }
+    out.numFeatures = numFeatures;
+    out.numClasses = numClasses;
+    return out;
+}
+
+std::vector<int64_t>
+GraphDataset::labels() const
+{
+    std::vector<int64_t> out;
+    out.reserve(graphs.size());
+    for (const Graph &g : graphs)
+        out.push_back(g.graphLabel);
+    return out;
+}
+
+DatasetInfo
+NodeDataset::info() const
+{
+    DatasetInfo out;
+    out.name = name;
+    out.numGraphs = 1;
+    out.avgNodes = static_cast<double>(graph.numNodes);
+    out.avgEdges = static_cast<double>(graph.numEdges()) / 2.0;
+    out.numFeatures = numFeatures;
+    out.numClasses = numClasses;
+    return out;
+}
+
+} // namespace gnnperf

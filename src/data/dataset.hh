@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dataset containers and Table-I statistics.
+ *
+ * The paper's datasets (Cora, PubMed, ENZYMES, DD, MNIST-superpixels)
+ * are not redistributable offline, so gnnperf generates synthetic
+ * datasets with the same shape: node/edge/feature/class counts from
+ * Table I, and enough label signal that the six models train to
+ * accuracies in the paper's band. Each generator documents its
+ * construction; DESIGN.md §2 records the substitution rationale.
+ */
+
+#ifndef GNNPERF_DATA_DATASET_HH
+#define GNNPERF_DATA_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace gnnperf {
+
+/** Table-I style statistics. */
+struct DatasetInfo
+{
+    std::string name;
+    int64_t numGraphs = 0;
+    double avgNodes = 0.0;
+    double avgEdges = 0.0;  ///< undirected edge pairs, as Table I
+    int64_t numFeatures = 0;
+    int64_t numClasses = 0;
+};
+
+/** A graph-classification dataset. */
+struct GraphDataset
+{
+    std::string name;
+    std::vector<Graph> graphs;
+    int64_t numFeatures = 0;
+    int64_t numClasses = 0;
+
+    /** Table-I statistics (edges counted as undirected pairs). */
+    DatasetInfo info() const;
+
+    /** Per-graph labels. */
+    std::vector<int64_t> labels() const;
+};
+
+/** A transductive node-classification dataset (one graph + masks). */
+struct NodeDataset
+{
+    std::string name;
+    Graph graph;
+    int64_t numFeatures = 0;
+    int64_t numClasses = 0;
+
+    DatasetInfo info() const;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_DATA_DATASET_HH

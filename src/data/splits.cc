@@ -1,0 +1,89 @@
+#include "data/splits.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace gnnperf {
+
+namespace {
+
+/** Per-class shuffled index lists. */
+std::map<int64_t, std::vector<int64_t>>
+groupByClass(const std::vector<int64_t> &labels, Rng &rng)
+{
+    std::map<int64_t, std::vector<int64_t>> by_class;
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        by_class[labels[i]].push_back(static_cast<int64_t>(i));
+    for (auto &[cls, indices] : by_class)
+        rng.shuffle(indices);
+    return by_class;
+}
+
+} // namespace
+
+std::vector<FoldSplit>
+stratifiedKFold(const std::vector<int64_t> &labels, int k, uint64_t seed)
+{
+    gnnperf_assert(k >= 2, "stratifiedKFold: k < 2");
+    gnnperf_assert(labels.size() >= static_cast<std::size_t>(k),
+                   "stratifiedKFold: fewer samples than folds");
+    Rng rng(seed);
+    auto by_class = groupByClass(labels, rng);
+
+    // Round-robin each class's samples over the k buckets so every
+    // bucket preserves the class distribution.
+    std::vector<std::vector<int64_t>> buckets(
+        static_cast<std::size_t>(k));
+    std::size_t cursor = 0;
+    for (auto &[cls, indices] : by_class) {
+        for (int64_t idx : indices) {
+            buckets[cursor % static_cast<std::size_t>(k)].push_back(idx);
+            ++cursor;
+        }
+    }
+
+    std::vector<FoldSplit> folds;
+    folds.reserve(static_cast<std::size_t>(k));
+    for (int f = 0; f < k; ++f) {
+        FoldSplit split;
+        const auto test_b = static_cast<std::size_t>(f);
+        const auto val_b = static_cast<std::size_t>((f + 1) % k);
+        for (std::size_t b = 0; b < buckets.size(); ++b) {
+            auto &dst = b == test_b ? split.test
+                        : b == val_b ? split.val : split.train;
+            dst.insert(dst.end(), buckets[b].begin(), buckets[b].end());
+        }
+        folds.push_back(std::move(split));
+    }
+    return folds;
+}
+
+FoldSplit
+stratifiedSplit(const std::vector<int64_t> &labels, double train_frac,
+                double val_frac, uint64_t seed)
+{
+    gnnperf_assert(train_frac > 0.0 && val_frac >= 0.0 &&
+                   train_frac + val_frac < 1.0,
+                   "stratifiedSplit: bad fractions");
+    Rng rng(seed);
+    auto by_class = groupByClass(labels, rng);
+    FoldSplit split;
+    for (auto &[cls, indices] : by_class) {
+        const auto n = indices.size();
+        const auto n_train = static_cast<std::size_t>(
+            static_cast<double>(n) * train_frac);
+        const auto n_val = static_cast<std::size_t>(
+            static_cast<double>(n) * val_frac);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto &dst = i < n_train ? split.train
+                        : i < n_train + n_val ? split.val : split.test;
+            dst.push_back(indices[i]);
+        }
+    }
+    return split;
+}
+
+} // namespace gnnperf

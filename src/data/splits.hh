@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dataset splitting (paper §IV-B.1): stratified 10-fold
+ * cross-validation producing train/validation/test indices in the
+ * ratio 8:1:1, with the class distribution preserved across folds.
+ */
+
+#ifndef GNNPERF_DATA_SPLITS_HH
+#define GNNPERF_DATA_SPLITS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gnnperf {
+
+/** One fold's index sets. */
+struct FoldSplit
+{
+    std::vector<int64_t> train;
+    std::vector<int64_t> val;
+    std::vector<int64_t> test;
+};
+
+/**
+ * Stratified k-fold splits: fold i uses bucket i as test, bucket
+ * (i+1) mod k as validation, and the rest as train.
+ *
+ * @param labels per-sample class labels
+ * @param k number of folds (paper: 10)
+ * @param seed shuffle seed (the paper fixes the split across all
+ *        experiments for fair comparison; so do we)
+ */
+std::vector<FoldSplit> stratifiedKFold(const std::vector<int64_t> &labels,
+                                       int k, uint64_t seed);
+
+/**
+ * Single stratified train/val/test split with the given fractions
+ * (used by the MNIST multi-GPU experiment).
+ */
+FoldSplit stratifiedSplit(const std::vector<int64_t> &labels,
+                          double train_frac, double val_frac,
+                          uint64_t seed);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_DATA_SPLITS_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Synthetic TU-style graph-classification datasets (ENZYMES / DD
+ * stand-ins).
+ *
+ * Construction: each class defines (a) a structural recipe — a ring
+ * lattice whose connectivity and shortcut rate depend on the class —
+ * and (b) a feature prototype — node features are drawn from a
+ * class-conditioned Gaussian mixture with heavy noise, so models reach
+ * the paper's mid-60s/mid-70s accuracy band rather than 100%.
+ * Graph-size distributions match Table I (ENZYMES: small graphs,
+ * avg 32.6 nodes; DD: large graphs with a heavy tail, avg 284.3).
+ */
+
+#ifndef GNNPERF_DATA_TU_DATASET_HH
+#define GNNPERF_DATA_TU_DATASET_HH
+
+#include "data/dataset.hh"
+
+namespace gnnperf {
+
+/** Generator parameters. */
+struct TuConfig
+{
+    std::string name = "TU";
+    int64_t numGraphs = 100;
+    int64_t numFeatures = 8;
+    int64_t numClasses = 2;
+    int64_t minNodes = 4;
+    int64_t maxNodes = 64;
+    double logMeanNodes = 3.2;   ///< log-normal node-count mean
+    double logStdNodes = 0.5;    ///< log-normal node-count std
+    double baseShortcuts = 0.15; ///< shortcut edges per node
+    double featureNoise = 1.5;   ///< per-node Gaussian noise sigma
+    double structureSignal = 0.35;///< class-dependent structure delta
+    /**
+     * Per-graph noise: a random offset shared by all nodes of a graph
+     * (on the prototype dims) and a log-normal jitter on the shortcut
+     * rate. Per-node noise averages out under mean readout over ~30+
+     * nodes; these graph-level terms do not, so they are the lever
+     * that caps test accuracy at the paper's 65–78 % band instead of
+     * the high 90s.
+     */
+    double graphNoise = 0.5;
+    double structureJitter = 0.35;
+    /** Amplitude of the class prototype (smaller = harder task). */
+    double protoScale = 1.0;
+    uint64_t seed = 11;
+};
+
+/** Generate a TU-style dataset from explicit parameters. */
+GraphDataset makeTuDataset(const TuConfig &cfg);
+
+/**
+ * ENZYMES-shaped dataset: 600 graphs (override with num_graphs),
+ * 6 classes, 18 features, sizes 2–126 averaging ≈32.6 nodes.
+ */
+GraphDataset makeEnzymes(uint64_t seed = 11, int64_t num_graphs = 600);
+
+/**
+ * DD-shaped dataset: 1178 graphs (override with num_graphs), 2
+ * classes, 89 features, sizes 30–5748 averaging ≈284.3 nodes.
+ * `max_nodes_cap` truncates the heavy tail for smoke-scale runs
+ * (0 = paper scale).
+ */
+GraphDataset makeDD(uint64_t seed = 11, int64_t num_graphs = 1178,
+                    int64_t max_nodes_cap = 0);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_DATA_TU_DATASET_HH

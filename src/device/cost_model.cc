@@ -1,0 +1,49 @@
+#include "device/cost_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gnnperf {
+
+double
+CostModel::kernelTime(const KernelRecord &k) const
+{
+    double compute = k.flops / gpu.flopsPerSec;
+    double memory = k.bytes / gpu.bytesPerSec;
+    return gpu.kernelOverhead + std::max(compute, memory);
+}
+
+double
+CostModel::hostTime(const HostRecord &h) const
+{
+    double t = host.hostOpBase;
+    switch (h.kind) {
+      case HostOpKind::Memcpy:
+        t += h.bytes / host.memcpyBytesPerSec;
+        break;
+      case HostOpKind::IndexedGather:
+        t += h.bytes / host.gatherBytesPerSec;
+        break;
+      case HostOpKind::MetaBuild:
+        t += h.items * host.metaItemCost +
+             h.bytes / host.metaBytesPerSec;
+        break;
+      case HostOpKind::H2DTransfer:
+        t += host.h2dLatency + h.bytes / gpu.h2dBytesPerSec;
+        break;
+      case HostOpKind::Dispatch:
+        t += h.items * host.dispatchItemCost;
+        break;
+    }
+    return t;
+}
+
+const CostModel &
+CostModel::defaultModel()
+{
+    static const CostModel model{};
+    return model;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Calibrated cost model for the simulated GPU deployment.
+ *
+ * The paper measures on an NVIDIA GeForce RTX 2080Ti driven by Python
+ * frameworks (PyTorch + PyG/DGL). We have neither a GPU nor Python, so
+ * trace records (see trace.hh) are priced with this model:
+ *
+ *  - GPU kernels follow a roofline: duration = fixed kernel overhead +
+ *    max(flops / effective_flops, bytes / effective_bandwidth). The
+ *    effective rates are the 2080Ti peaks (13.45 TFLOP/s FP32,
+ *    616 GB/s) derated by typical achieved efficiency.
+ *  - Host operations are priced per kind: contiguous copies run at
+ *    PyTorch-tensor speed, per-element indexed paths an order of
+ *    magnitude slower (DGL's non-PyTorch data processing, paper
+ *    §IV-C), metadata construction costs per item (Python object
+ *    overhead), and PCIe transfers at ~11 GB/s.
+ *  - Every kernel launch additionally costs framework dispatch time on
+ *    the host (Python op overhead). This per-op constant is the main
+ *    lever behind the paper's observation that small-graph workloads
+ *    are dispatch-bound; it is framework specific (DGL's extra
+ *    abstraction layers make it larger) and supplied by the Backend.
+ *
+ * All rates are ordinary data members so tests and ablation benches can
+ * construct hypothetical devices.
+ */
+
+#ifndef GNNPERF_DEVICE_COST_MODEL_HH
+#define GNNPERF_DEVICE_COST_MODEL_HH
+
+#include <cstddef>
+
+#include "device/trace.hh"
+
+namespace gnnperf {
+
+/** GPU-side rate parameters (defaults: RTX 2080Ti). */
+struct GpuSpec
+{
+    /** Effective FP32 throughput (peak 13.45 TFLOP/s, ~45% achieved). */
+    double flopsPerSec = 13.45e12 * 0.45;
+
+    /** Effective memory bandwidth (peak 616 GB/s, ~65% achieved). */
+    double bytesPerSec = 616e9 * 0.65;
+
+    /** Fixed on-GPU cost of any kernel (ramp-up/down, tail effects). */
+    double kernelOverhead = 2.5e-6;
+
+    /** Host→device PCIe 3.0 x16 effective bandwidth. */
+    double h2dBytesPerSec = 11e9;
+
+    /** GPU↔GPU transfer bandwidth (through host, no NVLink). */
+    double p2pBytesPerSec = 9e9;
+
+    /** Device memory capacity (11 GiB on the 2080Ti). */
+    std::size_t memoryCapacity = 11ull << 30;
+};
+
+/** Host-side rate parameters. */
+struct HostSpec
+{
+    /** Contiguous copy bandwidth (PyTorch-backed tensor ops). */
+    double memcpyBytesPerSec = 9e9;
+
+    /** Per-element indexed copy bandwidth (generic slow path). */
+    double gatherBytesPerSec = 0.9e9;
+
+    /** Per-item cost of metadata construction (Python object-level). */
+    double metaItemCost = 1.2e-6;
+
+    /** Bandwidth of metadata byte traffic. */
+    double metaBytesPerSec = 1.5e9;
+
+    /** Fixed latency of a host→device transfer call. */
+    double h2dLatency = 8e-6;
+
+    /** Per-item framework dispatch cost (explicit Dispatch records). */
+    double dispatchItemCost = 30e-6;
+
+    /** Base cost of any host operation record. */
+    double hostOpBase = 1.5e-6;
+};
+
+/**
+ * Prices trace records. Stateless apart from its parameters.
+ */
+class CostModel
+{
+  public:
+    GpuSpec gpu;
+    HostSpec host;
+
+    /** On-GPU duration of a kernel (host dispatch NOT included). */
+    double kernelTime(const KernelRecord &k) const;
+
+    /** Host-side duration of a host operation. */
+    double hostTime(const HostRecord &h) const;
+
+    /** The default model shared by the whole process. */
+    static const CostModel &defaultModel();
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_DEVICE_COST_MODEL_HH

@@ -1,0 +1,53 @@
+#include "device/device.hh"
+
+#include "common/logging.hh"
+
+namespace gnnperf {
+
+const char *
+deviceName(DeviceKind kind)
+{
+    return kind == DeviceKind::Host ? "host" : "cuda";
+}
+
+void
+MemoryStats::onFree(std::size_t bytes)
+{
+    gnnperf_assert(bytes <= currentBytes,
+                   "freeing ", bytes, " bytes but only ", currentBytes,
+                   " live");
+    currentBytes -= bytes;
+}
+
+DeviceManager &
+DeviceManager::instance()
+{
+    static DeviceManager manager;
+    return manager;
+}
+
+MemoryStats &
+DeviceManager::stats(DeviceKind kind)
+{
+    return kind == DeviceKind::Host ? host_ : cuda_;
+}
+
+const MemoryStats &
+DeviceManager::stats(DeviceKind kind) const
+{
+    return kind == DeviceKind::Host ? host_ : cuda_;
+}
+
+void
+DeviceManager::notifyAlloc(DeviceKind kind, std::size_t bytes)
+{
+    stats(kind).onAlloc(bytes);
+}
+
+void
+DeviceManager::notifyFree(DeviceKind kind, std::size_t bytes)
+{
+    stats(kind).onFree(bytes);
+}
+
+} // namespace gnnperf

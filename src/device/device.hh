@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Simulated device memory accounting.
+ *
+ * Tensor storage declares a DeviceKind; allocations/frees on the Cuda
+ * device flow through DeviceManager so that peak memory usage — the
+ * quantity the paper reads from nvidia-smi (Fig. 4) — is tracked
+ * byte-accurately for the *real* tensors the workload materialises.
+ *
+ * The library is single-threaded by design (the paper's workloads are
+ * dispatch-serialised too), so no synchronisation is needed here.
+ */
+
+#ifndef GNNPERF_DEVICE_DEVICE_HH
+#define GNNPERF_DEVICE_DEVICE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gnnperf {
+
+/** Where a tensor's storage conceptually lives. */
+enum class DeviceKind : uint8_t { Host, Cuda };
+
+/** Human-readable device name. */
+const char *deviceName(DeviceKind kind);
+
+/** Allocation statistics for one device. */
+struct MemoryStats
+{
+    std::size_t currentBytes = 0;   ///< live bytes right now
+    std::size_t peakBytes = 0;      ///< high-water mark since reset
+    std::size_t totalAllocated = 0; ///< cumulative bytes ever allocated
+    std::size_t allocCount = 0;     ///< number of allocations
+
+    void
+    onAlloc(std::size_t bytes)
+    {
+        currentBytes += bytes;
+        totalAllocated += bytes;
+        ++allocCount;
+        if (currentBytes > peakBytes)
+            peakBytes = currentBytes;
+    }
+
+    void onFree(std::size_t bytes);
+
+    /** Reset the high-water mark to the current live size. */
+    void resetPeak() { peakBytes = currentBytes; }
+};
+
+/**
+ * Process-wide registry of per-device memory statistics.
+ */
+class DeviceManager
+{
+  public:
+    /** The process-wide instance. */
+    static DeviceManager &instance();
+
+    /** Statistics for a device. */
+    MemoryStats &stats(DeviceKind kind);
+    const MemoryStats &stats(DeviceKind kind) const;
+
+    /** Record an allocation / free. */
+    void notifyAlloc(DeviceKind kind, std::size_t bytes);
+    void notifyFree(DeviceKind kind, std::size_t bytes);
+
+    /** Reset the Cuda peak (e.g. before measuring one configuration). */
+    void resetCudaPeak() { cuda_.resetPeak(); }
+
+    /** Convenience: current / peak Cuda bytes. */
+    std::size_t cudaCurrent() const { return cuda_.currentBytes; }
+    std::size_t cudaPeak() const { return cuda_.peakBytes; }
+
+  private:
+    DeviceManager() = default;
+
+    MemoryStats host_;
+    MemoryStats cuda_;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_DEVICE_DEVICE_HH

@@ -1,0 +1,78 @@
+#include "device/multi_gpu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace gnnperf {
+
+double
+DataParallelModel::scatterTime(const DataParallelParams &p,
+                               const CostModel &model)
+{
+    // The batch lands on GPU 0 as part of data loading (already in
+    // collateTime); scatter moves the other GPUs' shards.
+    if (p.numGpus <= 1)
+        return 0.0;
+    double per_gpu = model.host.h2dLatency +
+                     p.shardInputBytes / model.gpu.h2dBytesPerSec;
+    return (p.numGpus - 1) * per_gpu;
+}
+
+double
+DataParallelModel::replicateTime(const DataParallelParams &p,
+                                 const CostModel &model)
+{
+    if (p.numGpus <= 1)
+        return 0.0;
+    // Parameters are broadcast from GPU 0 to each replica every
+    // iteration (DataParallel re-replicates the module each step).
+    double copies = static_cast<double>(p.numGpus - 1);
+    return copies * (p.paramBytes / model.gpu.p2pBytesPerSec +
+                     kPerReplicaOverhead);
+}
+
+double
+DataParallelModel::gatherReduceTime(const DataParallelParams &p,
+                                    const CostModel &model)
+{
+    if (p.numGpus <= 1)
+        return 0.0;
+    double copies = static_cast<double>(p.numGpus - 1);
+    // Output gather to GPU 0 plus gradient reduction onto GPU 0.
+    double gather = copies * (p.shardOutputBytes /
+                              model.gpu.p2pBytesPerSec + 30e-6);
+    double reduce = copies * (p.paramBytes / model.gpu.p2pBytesPerSec +
+                              kPerReplicaOverhead);
+    return gather + reduce;
+}
+
+double
+DataParallelModel::computeTime(const DataParallelParams &p)
+{
+    // Kernel execution is measured at shard size (so it already
+    // shrinks with the GPU count); per-replica dispatch runs on
+    // driver threads that overlap except for the interpreter-locked
+    // fraction. This is what yields the paper's "computing time can
+    // be reduced to 1/N" at large batches while small dispatch-bound
+    // models see little gain (§IV-E).
+    const double kernel_part =
+        std::max(p.shardComputeElapsed - p.shardDispatchTime, 0.0);
+    const double n = static_cast<double>(p.numGpus);
+    const double dispatch_part =
+        p.shardDispatchTime *
+        (kDispatchSerialization + (1.0 - kDispatchSerialization) / n);
+    return kernel_part + dispatch_part;
+}
+
+double
+DataParallelModel::iterationTime(const DataParallelParams &p,
+                                 const CostModel &model)
+{
+    gnnperf_assert(p.numGpus >= 1, "iterationTime: numGpus < 1");
+    return p.collateTime + scatterTime(p, model) +
+           replicateTime(p, model) + computeTime(p) +
+           gatherReduceTime(p, model) + p.updateTime;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Trace collection: phases, layer scopes, and record emission.
+ *
+ * The Profiler is a process-wide sink. When disabled (the default)
+ * record emission is a branch and a return, so unprofiled runs (unit
+ * tests, accuracy-only training) pay almost nothing. When enabled,
+ * tensor ops, graph kernels and collation code append KernelRecord /
+ * HostRecord entries annotated with the current Phase and layer scope;
+ * the Timeline then prices the trace (see timeline.hh).
+ */
+
+#ifndef GNNPERF_DEVICE_PROFILER_HH
+#define GNNPERF_DEVICE_PROFILER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "device/trace.hh"
+
+namespace gnnperf {
+
+/**
+ * Process-wide trace collector.
+ */
+class Profiler
+{
+  public:
+    /** The process-wide instance. */
+    static Profiler &instance();
+
+    /** Enable/disable trace collection. */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    /** Current phase (stamped into records). */
+    void setPhase(Phase phase) { phase_ = phase; }
+    Phase phase() const { return phase_; }
+
+    /**
+     * Enter a named layer scope (e.g. "conv1"). Returns the previous
+     * scope id so callers can restore it. Names are interned: the same
+     * name maps to the same id across epochs.
+     */
+    int16_t pushLayer(const char *name);
+
+    /** Restore a previous layer scope id. */
+    void setLayer(int16_t id) { layer_ = id; }
+    int16_t layer() const { return layer_; }
+
+    /** All interned layer names, indexed by id. */
+    const std::vector<std::string> &layerNames() const
+    {
+        return layerNames_;
+    }
+
+    /** Emit a kernel record (no-op when disabled). */
+    void
+    recordKernel(const char *name, double flops, double bytes)
+    {
+        if (!enabled_)
+            return;
+        trace_.addKernel(KernelRecord{name, flops, bytes, phase_, layer_});
+    }
+
+    /** Emit a host record (no-op when disabled). */
+    void
+    recordHost(const char *name, HostOpKind kind, double bytes,
+               double items)
+    {
+        if (!enabled_)
+            return;
+        trace_.addHost(HostRecord{name, kind, bytes, items, phase_,
+                                  layer_});
+    }
+
+    /** The collected trace. */
+    const Trace &trace() const { return trace_; }
+
+    /** Drop all collected records (layer interning is kept). */
+    void clearTrace() { trace_.clear(); }
+
+    /** Drop records and layer interning. */
+    void reset();
+
+  private:
+    Profiler() = default;
+
+    bool enabled_ = false;
+    Phase phase_ = Phase::Other;
+    int16_t layer_ = -1;
+    Trace trace_;
+    std::vector<std::string> layerNames_;
+    std::unordered_map<std::string, int16_t> layerIds_;
+};
+
+/** RAII phase scope: sets the phase, restores the previous on exit. */
+class PhaseScope
+{
+  public:
+    explicit PhaseScope(Phase phase)
+        : prev_(Profiler::instance().phase())
+    {
+        Profiler::instance().setPhase(phase);
+    }
+
+    ~PhaseScope() { Profiler::instance().setPhase(prev_); }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    Phase prev_;
+};
+
+/** RAII layer scope: tags records with a layer name (e.g. "conv2"). */
+class LayerScope
+{
+  public:
+    explicit LayerScope(const char *name)
+        : prev_(Profiler::instance().layer())
+    {
+        Profiler::instance().pushLayer(name);
+    }
+
+    ~LayerScope() { Profiler::instance().setLayer(prev_); }
+
+    LayerScope(const LayerScope &) = delete;
+    LayerScope &operator=(const LayerScope &) = delete;
+
+  private:
+    int16_t prev_;
+};
+
+/** Convenience free functions for emitting records. */
+inline void
+recordKernel(const char *name, double flops, double bytes)
+{
+    Profiler::instance().recordKernel(name, flops, bytes);
+}
+
+inline void
+recordHost(const char *name, HostOpKind kind, double bytes,
+           double items = 0.0)
+{
+    Profiler::instance().recordHost(name, kind, bytes, items);
+}
+
+} // namespace gnnperf
+
+#endif // GNNPERF_DEVICE_PROFILER_HH

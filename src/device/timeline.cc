@@ -1,0 +1,67 @@
+#include "device/timeline.hh"
+
+#include <algorithm>
+
+namespace gnnperf {
+
+double
+PhaseTimes::total() const
+{
+    double t = 0.0;
+    for (double s : seconds)
+        t += s;
+    return t;
+}
+
+TimelineResult
+Timeline::replay(const Trace &trace, const CostModel &model,
+                 double dispatch_overhead,
+                 std::vector<std::string> layer_names)
+{
+    TimelineResult result;
+    result.layerNames = std::move(layer_names);
+    result.layerElapsed.assign(result.layerNames.size(), 0.0);
+
+    double host = 0.0;      // host cursor
+    double gpuFree = 0.0;   // time the GPU stream becomes idle
+    double frontier = 0.0;  // max(host, gpuFree) so far
+
+    auto attribute = [&](Phase phase, int16_t layer, double delta) {
+        result.phaseElapsed[phase] += delta;
+        if (layer >= 0 &&
+            static_cast<std::size_t>(layer) < result.layerElapsed.size()) {
+            result.layerElapsed[layer] += delta;
+        }
+    };
+
+    for (const auto &entry : trace.entries()) {
+        if (entry.isKernel) {
+            const auto &k = entry.kernel;
+            double duration = model.kernelTime(k);
+            host += dispatch_overhead;
+            double start = std::max(host, gpuFree);
+            gpuFree = start + duration;
+            result.gpuBusy += duration;
+            result.hostBusy += dispatch_overhead;
+            ++result.kernelLaunches;
+            ++result.phaseKernels[static_cast<int>(k.phase)];
+            result.phaseGpuBusy[k.phase] += duration;
+            double new_frontier = std::max(host, gpuFree);
+            attribute(k.phase, k.layer, new_frontier - frontier);
+            frontier = new_frontier;
+        } else {
+            const auto &h = entry.host;
+            double duration = model.hostTime(h);
+            host += duration;
+            result.hostBusy += duration;
+            double new_frontier = std::max(host, gpuFree);
+            attribute(h.phase, h.layer, new_frontier - frontier);
+            frontier = new_frontier;
+        }
+    }
+
+    result.elapsed = frontier;
+    return result;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Trace replay: converts an execution trace into simulated times.
+ *
+ * The model is a single host thread feeding one GPU stream:
+ *
+ *  - a host record advances the host cursor by its priced duration;
+ *  - a kernel record first advances the host cursor by the framework's
+ *    per-op dispatch overhead (asynchronous launch), then the kernel
+ *    executes on the GPU starting at max(host cursor, GPU free time).
+ *
+ * Elapsed time is the frontier max(host cursor, GPU free time) at the
+ * end of the trace — i.e. there is an implicit device synchronisation
+ * at the end (as PyTorch does when the loss value is read). This gives
+ * the classic behaviour that dispatch-bound workloads hide kernel time
+ * behind host overhead, while kernel-bound workloads run ahead of the
+ * host — exactly the regimes the paper contrasts between ENZYMES and
+ * DD (§IV-C).
+ *
+ * GPU utilization is total kernel busy time divided by elapsed time
+ * (paper Eq. 5). Per-phase and per-layer attributions charge each
+ * record with the amount it advanced the frontier.
+ */
+
+#ifndef GNNPERF_DEVICE_TIMELINE_HH
+#define GNNPERF_DEVICE_TIMELINE_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "device/cost_model.hh"
+#include "device/trace.hh"
+
+namespace gnnperf {
+
+/** Elapsed seconds per training phase. */
+struct PhaseTimes
+{
+    std::array<double, kNumPhases> seconds{};
+
+    double &operator[](Phase p) { return seconds[static_cast<int>(p)]; }
+    double operator[](Phase p) const
+    {
+        return seconds[static_cast<int>(p)];
+    }
+
+    /** Sum over all phases. */
+    double total() const;
+};
+
+/** Result of replaying one trace. */
+struct TimelineResult
+{
+    double elapsed = 0.0;   ///< simulated wall-clock seconds
+    double gpuBusy = 0.0;   ///< total kernel busy seconds
+    double hostBusy = 0.0;  ///< total host-op + dispatch seconds
+    std::size_t kernelLaunches = 0;
+    PhaseTimes phaseElapsed;
+
+    /** Kernel launches per phase. */
+    std::array<std::size_t, kNumPhases> phaseKernels{};
+
+    /** GPU busy seconds per phase. */
+    PhaseTimes phaseGpuBusy;
+
+    /** Elapsed seconds attributed to each interned layer scope. */
+    std::vector<double> layerElapsed;
+    std::vector<std::string> layerNames;
+
+    /** GPU compute utilization in [0, 1] (paper Eq. 5). */
+    double
+    utilization() const
+    {
+        return elapsed > 0.0 ? gpuBusy / elapsed : 0.0;
+    }
+};
+
+/**
+ * Stateless trace pricer.
+ */
+class Timeline
+{
+  public:
+    /**
+     * Replay a trace against a cost model.
+     *
+     * @param trace the recorded execution
+     * @param model rate parameters
+     * @param dispatch_overhead per-kernel host dispatch seconds
+     *        (framework specific; see Backend::dispatchOverhead())
+     * @param layer_names interned layer names from the Profiler
+     */
+    static TimelineResult replay(const Trace &trace,
+                                 const CostModel &model,
+                                 double dispatch_overhead,
+                                 std::vector<std::string> layer_names = {});
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_DEVICE_TIMELINE_HH

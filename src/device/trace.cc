@@ -1,0 +1,48 @@
+#include "device/trace.hh"
+
+namespace gnnperf {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::DataLoading: return "data_loading";
+      case Phase::Forward: return "forward";
+      case Phase::Backward: return "backward";
+      case Phase::Update: return "update";
+      case Phase::Evaluation: return "evaluation";
+      case Phase::Other: return "other";
+    }
+    return "?";
+}
+
+std::size_t
+Trace::kernelCount() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_)
+        n += e.isKernel ? 1 : 0;
+    return n;
+}
+
+double
+Trace::totalFlops() const
+{
+    double f = 0.0;
+    for (const auto &e : entries_)
+        if (e.isKernel)
+            f += e.kernel.flops;
+    return f;
+}
+
+double
+Trace::totalKernelBytes() const
+{
+    double b = 0.0;
+    for (const auto &e : entries_)
+        if (e.isKernel)
+            b += e.kernel.bytes;
+    return b;
+}
+
+} // namespace gnnperf

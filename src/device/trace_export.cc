@@ -1,0 +1,126 @@
+#include "device/trace_export.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gnnperf {
+
+std::string
+traceToChromeJson(const Trace &trace, const CostModel &model,
+                  double dispatch_overhead)
+{
+    std::string out = "[\n";
+    out += strprintf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                     "\"args\":{\"name\":\"gnnperf simulated\"}},\n");
+    out += strprintf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                     "\"tid\":1,\"args\":{\"name\":\"host\"}},\n");
+    out += strprintf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                     "\"tid\":2,\"args\":{\"name\":\"gpu stream\"}}");
+
+    double host = 0.0;
+    double gpu_free = 0.0;
+    for (const auto &entry : trace.entries()) {
+        if (entry.isKernel) {
+            const auto &k = entry.kernel;
+            const double dur = model.kernelTime(k);
+            // Host-side launch slice.
+            out += strprintf(
+                ",\n{\"name\":\"launch %s\",\"cat\":\"%s\",\"ph\":\"X\","
+                "\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f}",
+                k.name, phaseName(k.phase), host * 1e6,
+                dispatch_overhead * 1e6);
+            host += dispatch_overhead;
+            const double start = std::max(host, gpu_free);
+            gpu_free = start + dur;
+            out += strprintf(
+                ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                "\"pid\":1,\"tid\":2,\"ts\":%.3f,\"dur\":%.3f,"
+                "\"args\":{\"flops\":%.0f,\"bytes\":%.0f}}",
+                k.name, phaseName(k.phase), start * 1e6, dur * 1e6,
+                k.flops, k.bytes);
+        } else {
+            const auto &h = entry.host;
+            const double dur = model.hostTime(h);
+            out += strprintf(
+                ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                "\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,"
+                "\"args\":{\"bytes\":%.0f,\"items\":%.0f}}",
+                h.name, phaseName(h.phase), host * 1e6, dur * 1e6,
+                h.bytes, h.items);
+            host += dur;
+        }
+    }
+    out += "\n]\n";
+    return out;
+}
+
+std::string
+timelineToCsv(const TimelineResult &result)
+{
+    std::string out = "phase,elapsed_s,kernels,gpu_busy_s\n";
+    for (int p = 0; p < kNumPhases; ++p) {
+        const auto phase = static_cast<Phase>(p);
+        out += strprintf("%s,%.9f,%zu,%.9f\n", phaseName(phase),
+                         result.phaseElapsed[phase],
+                         result.phaseKernels[p],
+                         result.phaseGpuBusy[phase]);
+    }
+    out += strprintf("total,%.9f,%zu,%.9f\n", result.elapsed,
+                     result.kernelLaunches, result.gpuBusy);
+    return out;
+}
+
+std::vector<KernelSummaryRow>
+summarizeKernels(const Trace &trace, const CostModel &model)
+{
+    std::map<std::string, KernelSummaryRow> by_name;
+    for (const auto &entry : trace.entries()) {
+        if (!entry.isKernel)
+            continue;
+        const auto &k = entry.kernel;
+        KernelSummaryRow &row = by_name[k.name];
+        row.name = k.name;
+        ++row.count;
+        row.flops += k.flops;
+        row.bytes += k.bytes;
+        row.gpuSeconds += model.kernelTime(k);
+    }
+    std::vector<KernelSummaryRow> rows;
+    rows.reserve(by_name.size());
+    for (auto &[name, row] : by_name)
+        rows.push_back(row);
+    std::sort(rows.begin(), rows.end(),
+              [](const KernelSummaryRow &a, const KernelSummaryRow &b) {
+                  return a.gpuSeconds > b.gpuSeconds;
+              });
+    return rows;
+}
+
+std::string
+kernelSummaryToCsv(const std::vector<KernelSummaryRow> &rows)
+{
+    std::string out = "kernel,count,flops,bytes,gpu_seconds\n";
+    for (const auto &row : rows) {
+        out += strprintf("%s,%zu,%.0f,%.0f,%.9f\n", row.name.c_str(),
+                         row.count, row.flops, row.bytes,
+                         row.gpuSeconds);
+    }
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        gnnperf_fatal("cannot open ", path, " for writing");
+    file << content;
+    if (!file)
+        gnnperf_fatal("write to ", path, " failed");
+}
+
+} // namespace gnnperf

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trace export: Chrome trace-event JSON (chrome://tracing /
+ * Perfetto) and CSV summaries.
+ *
+ * The paper inspects executions with nvprof/Nsight timelines; this is
+ * the offline equivalent — replaying a recorded trace against the
+ * cost model produces host-thread and GPU-stream tracks with the same
+ * async-launch semantics the Timeline uses, viewable in any Chrome
+ * trace viewer.
+ */
+
+#ifndef GNNPERF_DEVICE_TRACE_EXPORT_HH
+#define GNNPERF_DEVICE_TRACE_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "device/cost_model.hh"
+#include "device/timeline.hh"
+#include "device/trace.hh"
+
+namespace gnnperf {
+
+/**
+ * Render a trace as Chrome trace-event JSON. Two tracks: tid 1 =
+ * host (dispatch + host ops), tid 2 = GPU stream (kernel execution),
+ * with the same scheduling the Timeline computes. Timestamps are in
+ * microseconds as the format requires.
+ */
+std::string traceToChromeJson(const Trace &trace, const CostModel &model,
+                              double dispatch_overhead);
+
+/**
+ * CSV summary of a replayed timeline: one row per phase with elapsed
+ * seconds, kernel count and GPU-busy seconds.
+ */
+std::string timelineToCsv(const TimelineResult &result);
+
+/**
+ * Per-kernel-name aggregation of a trace: count, total FLOPs, total
+ * bytes, total modelled GPU time — the nvprof "GPU summary" view.
+ */
+struct KernelSummaryRow
+{
+    std::string name;
+    std::size_t count = 0;
+    double flops = 0.0;
+    double bytes = 0.0;
+    double gpuSeconds = 0.0;
+};
+
+std::vector<KernelSummaryRow> summarizeKernels(const Trace &trace,
+                                               const CostModel &model);
+
+/** Render a kernel summary as CSV (name,count,flops,bytes,seconds). */
+std::string kernelSummaryToCsv(
+    const std::vector<KernelSummaryRow> &rows);
+
+/** Write a string to a file (fatal on I/O error). */
+void writeFile(const std::string &path, const std::string &content);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_DEVICE_TRACE_EXPORT_HH

@@ -1,0 +1,45 @@
+#include "graph/batched_graph.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+
+void
+BatchedGraph::ensureInIndex()
+{
+    if (!inIndex)
+        inIndex = buildInIndex(numNodes, edgeSrc, edgeDst);
+}
+
+void
+BatchedGraph::ensureOutIndex()
+{
+    if (!outIndex)
+        outIndex = buildOutIndex(numNodes, edgeSrc, edgeDst);
+}
+
+Tensor
+BatchedGraph::edgePseudoCoordinates() const
+{
+    gnnperf_assert(inDegrees.defined(),
+                   "edgePseudoCoordinates: degrees not computed");
+    const int64_t e = numEdges();
+    Tensor pseudo({e, 2}, DeviceKind::Cuda);
+    const float *deg = inDegrees.data();
+    float *p = pseudo.data();
+    for (int64_t i = 0; i < e; ++i) {
+        const float ds = deg[edgeSrc[static_cast<std::size_t>(i)]];
+        const float dd = deg[edgeDst[static_cast<std::size_t>(i)]];
+        p[i * 2 + 0] = 1.0f / std::sqrt(ds + 1.0f);
+        p[i * 2 + 1] = 1.0f / std::sqrt(dd + 1.0f);
+    }
+    recordKernel("edge_pseudo", 6.0 * static_cast<double>(e),
+                 static_cast<double>(pseudo.bytes()) +
+                     2.0 * static_cast<double>(e) * sizeof(int64_t));
+    return pseudo;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A mini-batch of graphs collated into one big disconnected graph.
+ *
+ * Both frameworks train graph-classification tasks this way (paper
+ * §IV-C): node features are concatenated, edge indices offset, and a
+ * batch vector maps each node back to its original graph. The two
+ * backends produce structurally identical BatchedGraphs but do very
+ * different amounts of work to get there — PyG's collation is feature
+ * concatenation plus index offsets; DGL's builds heterograph metadata
+ * and eagerly materialises both edge orientations (see
+ * backends/dgl/dgl_collate.cc).
+ */
+
+#ifndef GNNPERF_GRAPH_BATCHED_GRAPH_HH
+#define GNNPERF_GRAPH_BATCHED_GRAPH_HH
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace gnnperf {
+
+/**
+ * Collated batch (also used for single-graph node tasks with
+ * numGraphs == 1).
+ */
+struct BatchedGraph
+{
+    int64_t numNodes = 0;
+    int64_t numGraphs = 0;
+    std::vector<int64_t> edgeSrc;
+    std::vector<int64_t> edgeDst;
+
+    /** Node features [numNodes, F] on the simulated GPU. */
+    Tensor x;
+
+    /** node → graph id, size numNodes. */
+    std::vector<int64_t> nodeGraph;
+
+    /** Node offsets per graph, size numGraphs + 1. */
+    std::vector<int64_t> graphPtr;
+
+    /** Graph labels (graph tasks), size numGraphs. */
+    std::vector<int64_t> graphLabels;
+
+    /** Node labels (node tasks). */
+    std::vector<int64_t> nodeLabels;
+
+    /** Split index lists for transductive node tasks. */
+    std::vector<int64_t> trainIdx, valIdx, testIdx;
+
+    /** In-degrees [numNodes] on the device (used by GCN/MoNet). */
+    Tensor inDegrees;
+
+    /**
+     * Incidence indexes. The DGL collation fills both eagerly (its
+     * heterograph materialises all formats); the PyG path leaves them
+     * empty and its kernels work directly on COO.
+     */
+    std::optional<CsrIndex> inIndex;
+    std::optional<CsrIndex> outIndex;
+
+    /** DGL marks batches that went through heterograph handling. */
+    bool heteroProcessed = false;
+
+    /**
+     * Device-resident graph-structure buffers, kept only for memory
+     * accounting: PyG stores the COO edge index on the GPU; DGL
+     * materialises COO + CSR + CSC. One float here stands for four
+     * bytes of structure storage.
+     */
+    std::vector<Tensor> deviceStructures;
+
+    int64_t numEdges() const
+    {
+        return static_cast<int64_t>(edgeSrc.size());
+    }
+
+    /** Bytes of the node-feature payload (DataParallel model input). */
+    double featureBytes() const
+    {
+        return x.defined() ? static_cast<double>(x.bytes()) : 0.0;
+    }
+
+    /** Ensure inIndex / outIndex exist (idempotent). */
+    void ensureInIndex();
+    void ensureOutIndex();
+
+    /**
+     * MoNet pseudo-coordinates u_ij = (deg_i^-1/2, deg_j^-1/2)
+     * computed per edge, [E, 2] on the device. A kernel record is
+     * emitted (both frameworks compute this on the GPU).
+     */
+    Tensor edgePseudoCoordinates() const;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_GRAPH_BATCHED_GRAPH_HH

@@ -1,0 +1,106 @@
+#include "graph/edge_softmax.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+namespace graphops {
+
+Tensor
+edgeSoftmaxFused(const CsrIndex &in_index, const Tensor &logits)
+{
+    gnnperf_assert(logits.rank() == 2, "edgeSoftmax on rank ",
+                   logits.rank());
+    gnnperf_assert(logits.dim(0) == in_index.numEdges(),
+                   "edgeSoftmax: ", logits.dim(0), " logits for ",
+                   in_index.numEdges(), " edges");
+    const int64_t h = logits.dim(1);
+    Tensor alpha(logits.shape(), logits.device());
+    const float *pl = logits.data();
+    float *pa = alpha.data();
+    std::vector<float> mx(static_cast<std::size_t>(h));
+    std::vector<float> denom(static_cast<std::size_t>(h));
+    for (int64_t v = 0; v < in_index.numNodes(); ++v) {
+        const int64_t begin = in_index.ptr[v], end = in_index.ptr[v + 1];
+        if (begin == end)
+            continue;
+        for (int64_t hh = 0; hh < h; ++hh) {
+            mx[static_cast<std::size_t>(hh)] =
+                -std::numeric_limits<float>::infinity();
+            denom[static_cast<std::size_t>(hh)] = 0.0f;
+        }
+        for (int64_t k = begin; k < end; ++k) {
+            const int64_t e =
+                in_index.edgeId[static_cast<std::size_t>(k)];
+            for (int64_t hh = 0; hh < h; ++hh)
+                mx[static_cast<std::size_t>(hh)] = std::max(
+                    mx[static_cast<std::size_t>(hh)], pl[e * h + hh]);
+        }
+        for (int64_t k = begin; k < end; ++k) {
+            const int64_t e =
+                in_index.edgeId[static_cast<std::size_t>(k)];
+            for (int64_t hh = 0; hh < h; ++hh) {
+                const float ex = std::exp(
+                    pl[e * h + hh] - mx[static_cast<std::size_t>(hh)]);
+                pa[e * h + hh] = ex;
+                denom[static_cast<std::size_t>(hh)] += ex;
+            }
+        }
+        for (int64_t k = begin; k < end; ++k) {
+            const int64_t e =
+                in_index.edgeId[static_cast<std::size_t>(k)];
+            for (int64_t hh = 0; hh < h; ++hh)
+                pa[e * h + hh] /= denom[static_cast<std::size_t>(hh)];
+        }
+    }
+    recordKernel("edge_softmax",
+                 5.0 * static_cast<double>(logits.numel()),
+                 2.0 * static_cast<double>(logits.bytes()));
+    return alpha;
+}
+
+Tensor
+edgeSoftmaxBackwardFused(const CsrIndex &in_index, const Tensor &alpha,
+                         const Tensor &grad)
+{
+    gnnperf_assert(alpha.sameShape(grad),
+                   "edgeSoftmaxBackward: shape mismatch");
+    const int64_t h = alpha.dim(1);
+    Tensor out(alpha.shape(), alpha.device());
+    const float *pa = alpha.data();
+    const float *pg = grad.data();
+    float *po = out.data();
+    std::vector<float> acc(static_cast<std::size_t>(h));
+    for (int64_t v = 0; v < in_index.numNodes(); ++v) {
+        const int64_t begin = in_index.ptr[v], end = in_index.ptr[v + 1];
+        if (begin == end)
+            continue;
+        for (int64_t hh = 0; hh < h; ++hh)
+            acc[static_cast<std::size_t>(hh)] = 0.0f;
+        for (int64_t k = begin; k < end; ++k) {
+            const int64_t e =
+                in_index.edgeId[static_cast<std::size_t>(k)];
+            for (int64_t hh = 0; hh < h; ++hh)
+                acc[static_cast<std::size_t>(hh)] +=
+                    pa[e * h + hh] * pg[e * h + hh];
+        }
+        for (int64_t k = begin; k < end; ++k) {
+            const int64_t e =
+                in_index.edgeId[static_cast<std::size_t>(k)];
+            for (int64_t hh = 0; hh < h; ++hh)
+                po[e * h + hh] =
+                    pa[e * h + hh] * (pg[e * h + hh] -
+                                      acc[static_cast<std::size_t>(hh)]);
+        }
+    }
+    recordKernel("edge_softmax_bwd",
+                 4.0 * static_cast<double>(alpha.numel()),
+                 3.0 * static_cast<double>(alpha.bytes()));
+    return out;
+}
+
+} // namespace graphops
+} // namespace gnnperf

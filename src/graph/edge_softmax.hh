@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Edge softmax: normalise per-edge scores over the incoming edges of
+ * each destination node (GAT's attention normalisation).
+ *
+ * The fused routines here are DGL's edge_softmax operator (one kernel
+ * forward, one backward). PyG has no fused edge softmax at the
+ * studied versions — it composes scatter-max / gather / exp /
+ * scatter-add / div, which the PyG backend does explicitly from the
+ * scatter kernels (more launches and an extra [E,H] temporary).
+ */
+
+#ifndef GNNPERF_GRAPH_EDGE_SOFTMAX_HH
+#define GNNPERF_GRAPH_EDGE_SOFTMAX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "tensor/tensor.hh"
+
+namespace gnnperf {
+namespace graphops {
+
+/**
+ * Fused forward: alpha[e,h] = softmax over {e' : dst(e')=dst(e)} of
+ * logits[e',h], computed per head with max-subtraction.
+ */
+Tensor edgeSoftmaxFused(const CsrIndex &in_index, const Tensor &logits);
+
+/**
+ * Fused backward: given alpha and dL/dalpha, returns dL/dlogits:
+ * g_e = alpha_e (dalpha_e − Σ_{e' same dst} alpha_{e'} dalpha_{e'}).
+ */
+Tensor edgeSoftmaxBackwardFused(const CsrIndex &in_index,
+                                const Tensor &alpha, const Tensor &grad);
+
+} // namespace graphops
+} // namespace gnnperf
+
+#endif // GNNPERF_GRAPH_EDGE_SOFTMAX_HH

@@ -1,0 +1,88 @@
+#include "graph/graph.hh"
+
+#include "common/logging.hh"
+
+namespace gnnperf {
+
+namespace {
+
+CsrIndex
+buildIndexBy(int64_t num_nodes, const std::vector<int64_t> &key,
+             const std::vector<int64_t> &other)
+{
+    gnnperf_assert(key.size() == other.size(),
+                   "buildIndex: src/dst size mismatch");
+    CsrIndex index;
+    index.ptr.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+    for (int64_t k : key) {
+        gnnperf_assert(k >= 0 && k < num_nodes, "edge endpoint ", k,
+                       " out of ", num_nodes);
+        ++index.ptr[static_cast<std::size_t>(k) + 1];
+    }
+    for (std::size_t v = 1; v < index.ptr.size(); ++v)
+        index.ptr[v] += index.ptr[v - 1];
+    index.neighbor.resize(key.size());
+    index.edgeId.resize(key.size());
+    std::vector<int64_t> cursor(index.ptr.begin(), index.ptr.end() - 1);
+    for (std::size_t e = 0; e < key.size(); ++e) {
+        const auto slot = static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(key[e])]++);
+        index.neighbor[slot] = other[e];
+        index.edgeId[slot] = static_cast<int64_t>(e);
+    }
+    return index;
+}
+
+} // namespace
+
+CsrIndex
+buildInIndex(int64_t num_nodes, const std::vector<int64_t> &src,
+             const std::vector<int64_t> &dst)
+{
+    return buildIndexBy(num_nodes, dst, src);
+}
+
+CsrIndex
+buildOutIndex(int64_t num_nodes, const std::vector<int64_t> &src,
+              const std::vector<int64_t> &dst)
+{
+    return buildIndexBy(num_nodes, src, dst);
+}
+
+void
+Graph::addEdge(int64_t u, int64_t v)
+{
+    gnnperf_assert(u >= 0 && u < numNodes && v >= 0 && v < numNodes,
+                   "addEdge(", u, ",", v, ") out of ", numNodes);
+    edgeSrc.push_back(u);
+    edgeDst.push_back(v);
+}
+
+void
+Graph::addUndirectedEdge(int64_t u, int64_t v)
+{
+    addEdge(u, v);
+    addEdge(v, u);
+}
+
+Tensor
+Graph::inDegrees() const
+{
+    Tensor deg = Tensor::zeros({numNodes}, DeviceKind::Host);
+    float *p = deg.data();
+    for (int64_t v : edgeDst)
+        p[v] += 1.0f;
+    return deg;
+}
+
+std::vector<int64_t>
+Graph::maskIndices(const std::vector<uint8_t> &mask)
+{
+    std::vector<int64_t> out;
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        if (mask[i])
+            out.push_back(static_cast<int64_t>(i));
+    return out;
+}
+
+} // namespace gnnperf

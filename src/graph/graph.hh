@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Graph data structures.
+ *
+ * A Graph stores directed edges in COO form (each undirected edge is
+ * stored in both directions, matching how Planetoid/TU datasets are
+ * loaded by PyG and DGL). Node features live on the Host device until a
+ * batch is moved to the (simulated) GPU. CSR/CSC index structures are
+ * built on demand — eagerly by the DGL backend at collation time,
+ * never by the PyG backend (whose scatter kernels work on COO).
+ */
+
+#ifndef GNNPERF_GRAPH_GRAPH_HH
+#define GNNPERF_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace gnnperf {
+
+/**
+ * Compressed incidence index over one edge direction.
+ *
+ * For the "in" orientation: ptr has numNodes+1 entries; for node v,
+ * edges [ptr[v], ptr[v+1]) have destination v, with neighbor[k] the
+ * source node and edgeId[k] the position of that edge in the COO
+ * arrays (so per-edge tensors can be indexed).
+ */
+struct CsrIndex
+{
+    std::vector<int64_t> ptr;
+    std::vector<int64_t> neighbor;
+    std::vector<int64_t> edgeId;
+
+    int64_t numNodes() const
+    {
+        return static_cast<int64_t>(ptr.size()) - 1;
+    }
+    int64_t numEdges() const
+    {
+        return static_cast<int64_t>(neighbor.size());
+    }
+};
+
+/** Build the index grouping edges by destination (CSC-like). */
+CsrIndex buildInIndex(int64_t num_nodes,
+                      const std::vector<int64_t> &src,
+                      const std::vector<int64_t> &dst);
+
+/** Build the index grouping edges by source (CSR-like). */
+CsrIndex buildOutIndex(int64_t num_nodes,
+                       const std::vector<int64_t> &src,
+                       const std::vector<int64_t> &dst);
+
+/**
+ * One graph sample.
+ */
+struct Graph
+{
+    int64_t numNodes = 0;
+    std::vector<int64_t> edgeSrc;
+    std::vector<int64_t> edgeDst;
+
+    /** Node features, [numNodes, F], on the Host device. */
+    Tensor x;
+
+    /** Node labels (node classification tasks). */
+    std::vector<int64_t> nodeLabels;
+
+    /** Graph label (graph classification tasks), -1 when unused. */
+    int64_t graphLabel = -1;
+
+    /** Node coordinates (superpixel datasets), empty when unused. */
+    std::vector<float> posX;
+    std::vector<float> posY;
+
+    /** Split masks for transductive node tasks (1 = in split). */
+    std::vector<uint8_t> trainMask;
+    std::vector<uint8_t> valMask;
+    std::vector<uint8_t> testMask;
+
+    int64_t numEdges() const
+    {
+        return static_cast<int64_t>(edgeSrc.size());
+    }
+
+    /** Append a directed edge u→v. */
+    void addEdge(int64_t u, int64_t v);
+
+    /** Append u→v and v→u. */
+    void addUndirectedEdge(int64_t u, int64_t v);
+
+    /** Per-node in-degrees (float tensor on the Host device). */
+    Tensor inDegrees() const;
+
+    /** Indices of mask==1 entries. */
+    static std::vector<int64_t>
+    maskIndices(const std::vector<uint8_t> &mask);
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_GRAPH_GRAPH_HH

@@ -1,0 +1,106 @@
+#include "graph/scatter.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+#include "device/profiler.hh"
+#include "tensor/ops.hh"
+
+namespace gnnperf {
+namespace graphops {
+
+Tensor
+indexCounts(const std::vector<int64_t> &idx, int64_t num_rows)
+{
+    Tensor counts = Tensor::zeros({num_rows});
+    float *p = counts.data();
+    for (int64_t r : idx) {
+        gnnperf_assert(r >= 0 && r < num_rows, "indexCounts: index ", r,
+                       " out of ", num_rows);
+        p[r] += 1.0f;
+    }
+    recordKernel("index_count", static_cast<double>(idx.size()),
+                 static_cast<double>(idx.size()) * sizeof(int64_t) +
+                     static_cast<double>(counts.bytes()));
+    return counts;
+}
+
+Tensor
+scatterMeanRows(const Tensor &src, const std::vector<int64_t> &idx,
+                int64_t num_rows)
+{
+    Tensor sum = ops::scatterAddRows(src, idx, num_rows);
+    Tensor counts = indexCounts(idx, num_rows);
+    // Avoid division by zero for isolated rows.
+    float *pc = counts.data();
+    for (int64_t i = 0; i < num_rows; ++i)
+        if (pc[i] == 0.0f)
+            pc[i] = 1.0f;
+    return ops::divCols(sum, counts);
+}
+
+Tensor
+scatterMaxRows(const Tensor &src, const std::vector<int64_t> &idx,
+               int64_t num_rows, std::vector<int64_t> &argmax)
+{
+    gnnperf_assert(src.rank() == 2, "scatterMaxRows on rank ",
+                   src.rank());
+    gnnperf_assert(static_cast<int64_t>(idx.size()) == src.dim(0),
+                   "scatterMaxRows: index/source mismatch");
+    const int64_t f = src.dim(1);
+    Tensor out = Tensor::full({num_rows, f},
+                              -std::numeric_limits<float>::infinity(),
+                              src.device());
+    argmax.assign(static_cast<std::size_t>(num_rows * f), -1);
+    const float *ps = src.data();
+    float *po = out.data();
+    for (std::size_t e = 0; e < idx.size(); ++e) {
+        const int64_t r = idx[e];
+        gnnperf_assert(r >= 0 && r < num_rows, "scatterMaxRows: index ",
+                       r, " out of ", num_rows);
+        const float *row = ps + static_cast<int64_t>(e) * f;
+        float *dst = po + r * f;
+        int64_t *arg = argmax.data() + r * f;
+        for (int64_t j = 0; j < f; ++j) {
+            if (row[j] > dst[j]) {
+                dst[j] = row[j];
+                arg[j] = static_cast<int64_t>(e);
+            }
+        }
+    }
+    // Empty rows: replace -inf with 0.
+    for (int64_t i = 0; i < num_rows * f; ++i)
+        if (po[i] == -std::numeric_limits<float>::infinity())
+            po[i] = 0.0f;
+    recordKernel("scatter_max", static_cast<double>(src.numel()),
+                 2.0 * static_cast<double>(src.bytes()) +
+                     static_cast<double>(out.bytes()));
+    return out;
+}
+
+Tensor
+scatterMaxBackward(const Tensor &grad, const std::vector<int64_t> &argmax,
+                   int64_t num_src_rows)
+{
+    gnnperf_assert(grad.rank() == 2, "scatterMaxBackward on rank ",
+                   grad.rank());
+    const int64_t f = grad.dim(1);
+    gnnperf_assert(static_cast<int64_t>(argmax.size()) ==
+                   grad.dim(0) * f, "scatterMaxBackward: argmax size");
+    Tensor out = Tensor::zeros({num_src_rows, f}, grad.device());
+    const float *pg = grad.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < grad.dim(0); ++i) {
+        for (int64_t j = 0; j < f; ++j) {
+            const int64_t e = argmax[static_cast<std::size_t>(i * f + j)];
+            if (e >= 0)
+                po[e * f + j] += pg[i * f + j];
+        }
+    }
+    recordKernel("scatter_max_bwd", static_cast<double>(grad.numel()),
+                 2.0 * static_cast<double>(grad.bytes()));
+    return out;
+}
+
+} // namespace graphops
+} // namespace gnnperf

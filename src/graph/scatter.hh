@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Scatter-reduce kernels over edge-indexed rows (the torch_scatter
+ * primitives PyG builds message passing on). scatter-add lives in
+ * tensor/ops.hh because autograd's gather backward needs it; the
+ * mean/max variants and index counting live here.
+ *
+ * All functions are raw (non-autograd) kernels; the PyG backend
+ * composes them into differentiable ops.
+ */
+
+#ifndef GNNPERF_GRAPH_SCATTER_HH
+#define GNNPERF_GRAPH_SCATTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace gnnperf {
+namespace graphops {
+
+/** Number of contributions per output row: out[r] = |{e : idx[e]=r}|. */
+Tensor indexCounts(const std::vector<int64_t> &idx, int64_t num_rows);
+
+/**
+ * out[idx[e]] = mean of src rows mapped to that output row; rows with
+ * no contribution are zero.
+ */
+Tensor scatterMeanRows(const Tensor &src,
+                       const std::vector<int64_t> &idx,
+                       int64_t num_rows);
+
+/**
+ * out[idx[e]] = elementwise max over src rows mapped there; rows with
+ * no contribution are zero (PyG semantics for empty reductions is a
+ * fill value — zero matches the models' usage). `argmax` receives, per
+ * output element, the index e of the winning source row or -1.
+ */
+Tensor scatterMaxRows(const Tensor &src,
+                      const std::vector<int64_t> &idx, int64_t num_rows,
+                      std::vector<int64_t> &argmax);
+
+/**
+ * Backward helper for scatter-max: routes grad rows back to the
+ * winning source rows recorded in `argmax`.
+ */
+Tensor scatterMaxBackward(const Tensor &grad,
+                          const std::vector<int64_t> &argmax,
+                          int64_t num_src_rows);
+
+} // namespace graphops
+} // namespace gnnperf
+
+#endif // GNNPERF_GRAPH_SCATTER_HH

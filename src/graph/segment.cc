@@ -1,0 +1,105 @@
+#include "graph/segment.hh"
+
+#include "common/logging.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+namespace graphops {
+
+namespace {
+
+Tensor
+segmentReduce(const Tensor &x, const std::vector<int64_t> &ptr,
+              bool mean, const char *name)
+{
+    gnnperf_assert(x.rank() == 2, "segmentReduce on rank ", x.rank());
+    gnnperf_assert(!ptr.empty() && ptr.front() == 0 &&
+                   ptr.back() == x.dim(0),
+                   "segmentReduce: bad segment pointer");
+    const int64_t b = static_cast<int64_t>(ptr.size()) - 1;
+    const int64_t f = x.dim(1);
+    Tensor out = Tensor::zeros({b, f}, x.device());
+    const float *px = x.data();
+    float *po = out.data();
+    for (int64_t g = 0; g < b; ++g) {
+        float *dst = po + g * f;
+        const int64_t begin = ptr[static_cast<std::size_t>(g)];
+        const int64_t end = ptr[static_cast<std::size_t>(g) + 1];
+        for (int64_t i = begin; i < end; ++i) {
+            const float *row = px + i * f;
+            for (int64_t j = 0; j < f; ++j)
+                dst[j] += row[j];
+        }
+        if (mean && end > begin) {
+            const float inv = 1.0f / static_cast<float>(end - begin);
+            for (int64_t j = 0; j < f; ++j)
+                dst[j] *= inv;
+        }
+    }
+    recordKernel(name, static_cast<double>(x.numel()),
+                 static_cast<double>(x.bytes()) +
+                     static_cast<double>(out.bytes()));
+    return out;
+}
+
+Tensor
+segmentBroadcast(const Tensor &grad, const std::vector<int64_t> &ptr,
+                 bool mean, const char *name)
+{
+    gnnperf_assert(grad.rank() == 2, "segmentBroadcast on rank ",
+                   grad.rank());
+    gnnperf_assert(static_cast<int64_t>(ptr.size()) == grad.dim(0) + 1,
+                   "segmentBroadcast: bad segment pointer");
+    const int64_t b = grad.dim(0);
+    const int64_t f = grad.dim(1);
+    const int64_t n = ptr.back();
+    Tensor out = Tensor::zeros({n, f}, grad.device());
+    const float *pg = grad.data();
+    float *po = out.data();
+    for (int64_t g = 0; g < b; ++g) {
+        const int64_t begin = ptr[static_cast<std::size_t>(g)];
+        const int64_t end = ptr[static_cast<std::size_t>(g) + 1];
+        const float scale =
+            mean && end > begin
+                ? 1.0f / static_cast<float>(end - begin) : 1.0f;
+        const float *row = pg + g * f;
+        for (int64_t i = begin; i < end; ++i) {
+            float *dst = po + i * f;
+            for (int64_t j = 0; j < f; ++j)
+                dst[j] = row[j] * scale;
+        }
+    }
+    recordKernel(name, static_cast<double>(out.numel()),
+                 static_cast<double>(grad.bytes()) +
+                     static_cast<double>(out.bytes()));
+    return out;
+}
+
+} // namespace
+
+Tensor
+segmentMean(const Tensor &x, const std::vector<int64_t> &ptr)
+{
+    return segmentReduce(x, ptr, true, "segment_mean");
+}
+
+Tensor
+segmentSum(const Tensor &x, const std::vector<int64_t> &ptr)
+{
+    return segmentReduce(x, ptr, false, "segment_sum");
+}
+
+Tensor
+segmentMeanBackward(const Tensor &grad, const std::vector<int64_t> &ptr)
+{
+    return segmentBroadcast(grad, ptr, true, "segment_mean_bwd");
+}
+
+Tensor
+segmentSumBackward(const Tensor &grad, const std::vector<int64_t> &ptr)
+{
+    return segmentBroadcast(grad, ptr, false, "segment_sum_bwd");
+}
+
+} // namespace graphops
+} // namespace gnnperf

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Segment reduction over contiguous node ranges — DGL's
+ * segment_reduce operator, used by its readout/pooling (paper §IV-C:
+ * "in DGL, the pooling operation is based on their segment reduction
+ * operator").
+ *
+ * Nodes of a collated batch are contiguous per graph, so the readout
+ * mean over graph g reduces rows [ptr[g], ptr[g+1]).
+ */
+
+#ifndef GNNPERF_GRAPH_SEGMENT_HH
+#define GNNPERF_GRAPH_SEGMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace gnnperf {
+namespace graphops {
+
+/** out[g] = mean of x rows in [ptr[g], ptr[g+1]); one fused kernel. */
+Tensor segmentMean(const Tensor &x, const std::vector<int64_t> &ptr);
+
+/** out[g] = sum of x rows in [ptr[g], ptr[g+1]); one fused kernel. */
+Tensor segmentSum(const Tensor &x, const std::vector<int64_t> &ptr);
+
+/**
+ * Backward of segmentMean: broadcast each segment's gradient back to
+ * its rows, divided by the segment length.
+ */
+Tensor segmentMeanBackward(const Tensor &grad,
+                           const std::vector<int64_t> &ptr);
+
+/** Backward of segmentSum: broadcast each segment's gradient. */
+Tensor segmentSumBackward(const Tensor &grad,
+                          const std::vector<int64_t> &ptr);
+
+} // namespace graphops
+} // namespace gnnperf
+
+#endif // GNNPERF_GRAPH_SEGMENT_HH

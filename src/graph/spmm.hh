@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fused generalized sparse-dense matrix kernels — DGL's GSpMM/GSDDMM.
+ *
+ * The paper (§IV-C) describes GSpMM as fusing "computing messages by
+ * the source node and edge features and aggregating the messages as
+ * the features on destination nodes into one kernel". These routines
+ * traverse a CsrIndex and produce aggregated destination features in a
+ * single pass, emitting ONE kernel record each — in contrast to the
+ * PyG path, which materialises per-edge messages with gather kernels
+ * and reduces with scatter kernels (more launches, more memory
+ * traffic, see backends/pyg/pyg_ops.cc).
+ *
+ * All routines are raw (non-autograd); the DGL backend wires forward
+ * and backward pairs (backward of copy_u-sum over the in-index is
+ * copy_u-sum over the out-index, etc.).
+ */
+
+#ifndef GNNPERF_GRAPH_SPMM_HH
+#define GNNPERF_GRAPH_SPMM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "tensor/tensor.hh"
+
+namespace gnnperf {
+namespace graphops {
+
+/** out[v] = Σ_{e:(u→v)} x[u]  — copy_u + sum, fused. */
+Tensor spmmCopyUSum(const CsrIndex &in_index, const Tensor &x);
+
+/** out[v] = mean_{e:(u→v)} x[u]  — copy_u + mean, fused. */
+Tensor spmmCopyUMean(const CsrIndex &in_index, const Tensor &x);
+
+/**
+ * out[v] = max_{e:(u→v)} x[u] elementwise; empty rows are zero.
+ * `arg_src` records the winning source-row per output element (-1 when
+ * empty) for the backward pass.
+ */
+Tensor spmmCopyUMax(const CsrIndex &in_index, const Tensor &x,
+                    std::vector<int64_t> &arg_src);
+
+/** Backward helper for copy_u-max: route grads to winning sources. */
+Tensor spmmCopyUMaxBackward(const Tensor &grad,
+                            const std::vector<int64_t> &arg_src,
+                            int64_t num_src_rows);
+
+/**
+ * out[v, h*D+d] = Σ_{e:(u→v)} w[e,h] · x[u, h*D+d]
+ * — u_mul_e + sum with per-head edge weights, fused.
+ *
+ * @param x [N, heads*D] source features
+ * @param w [E, heads] edge weights, indexed by COO edge id
+ * @param heads number of heads (1 = plain scalar edge weights)
+ */
+Tensor spmmUMulESum(const CsrIndex &in_index, const Tensor &x,
+                    const Tensor &w, int64_t heads);
+
+/**
+ * GSDDMM: per-edge, per-head dot products of endpoint features:
+ * out[e,h] = Σ_d a[src_e, h*D+d] · b[dst_e, h*D+d].
+ * Used for the edge-weight gradient of u_mul_e-sum and for attention
+ * score computation.
+ */
+Tensor sddmmDotUV(const std::vector<int64_t> &src,
+                  const std::vector<int64_t> &dst, const Tensor &a,
+                  const Tensor &b, int64_t heads);
+
+} // namespace graphops
+} // namespace gnnperf
+
+#endif // GNNPERF_GRAPH_SPMM_HH

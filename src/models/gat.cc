@@ -1,0 +1,167 @@
+#include "models/gat.hh"
+
+#include <cmath>
+
+#include "autograd/functions.hh"
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+#include "device/profiler.hh"
+#include "tensor/init.hh"
+
+namespace gnnperf {
+
+using autograd::Node;
+
+GatConv::GatConv(const Backend &backend, int64_t in_features,
+                 int64_t out_features, int heads, bool batch_norm,
+                 bool residual, bool output_layer, float dropout,
+                 Rng &rng)
+    : backend_(backend),
+      heads_(heads),
+      residual_(residual && in_features == out_features),
+      outputLayer_(output_layer)
+{
+    gnnperf_assert(out_features % heads == 0, "GatConv: width ",
+                   out_features, " not divisible by ", heads, " heads");
+    proj_ = std::make_unique<nn::Linear>(in_features, out_features, rng,
+                                         /*bias=*/false);
+    registerModule("proj", proj_.get());
+    const float bound = 1.0f / std::sqrt(
+        static_cast<float>(out_features / heads));
+    attnSrc_ = registerParameter(
+        "attn_src", init::uniform({out_features}, bound, rng));
+    attnDst_ = registerParameter(
+        "attn_dst", init::uniform({out_features}, bound, rng));
+    if (batch_norm && !output_layer) {
+        bn_ = std::make_unique<nn::BatchNorm1d>(out_features);
+        registerModule("bn", bn_.get());
+    }
+    if (dropout > 0.0f) {
+        attnDropout_ = std::make_unique<nn::Dropout>(dropout, rng);
+        registerModule("attn_dropout", attnDropout_.get());
+        dropout_ = std::make_unique<nn::Dropout>(dropout, rng);
+        registerModule("dropout", dropout_.get());
+    }
+}
+
+Var
+GatConv::headDot(const Var &x, const Var &a, int64_t heads)
+{
+    gnnperf_assert(x.rank() == 2 && a.rank() == 1 &&
+                   x.dim(1) == a.dim(0), "headDot: shape mismatch");
+    const int64_t n = x.dim(0);
+    const int64_t f = x.dim(1);
+    const int64_t d = f / heads;
+    Tensor out({n, heads}, x.value().device());
+    {
+        const float *px = x.value().data();
+        const float *pa = a.value().data();
+        float *po = out.data();
+        for (int64_t i = 0; i < n; ++i) {
+            for (int64_t h = 0; h < heads; ++h) {
+                float s = 0.0f;
+                for (int64_t j = 0; j < d; ++j)
+                    s += px[i * f + h * d + j] * pa[h * d + j];
+                po[i * heads + h] = s;
+            }
+        }
+    }
+    recordKernel("attn_head_dot", 2.0 * static_cast<double>(n * f),
+                 static_cast<double>(x.value().bytes()) +
+                     static_cast<double>(out.bytes()));
+    Tensor xc = x.value(), ac = a.value();
+    return Var::makeOp("attn_head_dot", std::move(out), {x, a},
+        [xc, ac, heads, d, f](Node &node) {
+            const Tensor &g = node.grad;  // [N, heads]
+            const int64_t rows = g.dim(0);
+            if (node.inputs[0]->requiresGrad) {
+                Tensor gx({rows, f}, g.device());
+                const float *pg = g.data();
+                const float *pa = ac.data();
+                float *po = gx.data();
+                for (int64_t i = 0; i < rows; ++i)
+                    for (int64_t h = 0; h < heads; ++h) {
+                        const float s = pg[i * heads + h];
+                        for (int64_t j = 0; j < d; ++j)
+                            po[i * f + h * d + j] = s * pa[h * d + j];
+                    }
+                recordKernel("attn_head_dot_bwd_x",
+                             static_cast<double>(rows * f),
+                             2.0 * static_cast<double>(gx.bytes()));
+                node.inputs[0]->accumulateGrad(gx);
+            }
+            if (node.inputs[1]->requiresGrad) {
+                Tensor ga = Tensor::zeros({f}, g.device());
+                const float *pg = g.data();
+                const float *px = xc.data();
+                float *po = ga.data();
+                for (int64_t i = 0; i < rows; ++i)
+                    for (int64_t h = 0; h < heads; ++h) {
+                        const float s = pg[i * heads + h];
+                        for (int64_t j = 0; j < d; ++j)
+                            po[h * d + j] += s * px[i * f + h * d + j];
+                    }
+                recordKernel("attn_head_dot_bwd_a",
+                             static_cast<double>(rows * f),
+                             static_cast<double>(xc.bytes()));
+                node.inputs[1]->accumulateGrad(ga);
+            }
+        });
+}
+
+Var
+GatConv::forward(BatchedGraph &batch, const Var &h)
+{
+    Var wh = proj_->forward(h);  // [N, H·D]
+
+    // Attention logits per edge.
+    Var s_src = headDot(wh, attnSrc_, heads_);  // [N, H]
+    Var s_dst = headDot(wh, attnDst_, heads_);
+    Var e_src = backend_.gatherSrc(batch, s_src);  // [E, H]
+    Var e_dst = backend_.gatherDst(batch, s_dst);
+    Var logits = fn::leakyRelu(fn::add(e_src, e_dst), 0.2f);
+
+    Var alpha = backend_.edgeSoftmax(batch, logits);
+    if (attnDropout_)
+        alpha = attnDropout_->forward(alpha);
+
+    Var out = backend_.aggregateWeighted(batch, wh, alpha, heads_);
+    if (bn_)
+        out = bn_->forward(out);
+    if (!outputLayer_)
+        out = fn::elu(out);
+    if (residual_)
+        out = fn::add(out, h);
+    if (dropout_ && !outputLayer_)
+        out = dropout_->forward(out);
+    return out;
+}
+
+Gat::Gat(const Backend &backend, const ModelConfig &cfg)
+    : GnnModel(backend, cfg)
+{
+    for (int layer = 0; layer < cfg_.numLayers; ++layer) {
+        // The output layer of node-task GAT uses a single head
+        // (averaging heads over the class logits, as the reference
+        // implementation does).
+        const int heads = isOutputLayer(layer) ? 1 : cfg_.heads;
+        convs_.push_back(std::make_unique<GatConv>(
+            backend_, layerInWidth(layer), layerOutWidth(layer), heads,
+            cfg_.batchNorm, cfg_.residual, isOutputLayer(layer),
+            cfg_.dropout, rng_));
+        registerModule(strprintf("conv%d", layer + 1),
+                       convs_.back().get());
+    }
+}
+
+Var
+Gat::forwardConvs(BatchedGraph &batch, Var h)
+{
+    for (std::size_t layer = 0; layer < convs_.size(); ++layer) {
+        LayerScope scope(strprintf("conv%zu", layer + 1).c_str());
+        h = convs_[layer]->forward(batch, h);
+    }
+    return h;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Graph Attention Network (Veličković et al., 2018) — the paper's
+ * first anisotropic workload. Multi-head additive attention
+ * (Tables II/III: 8 heads): per edge (u→v),
+ *   e_uv = LeakyReLU(aₛ·Whᵤ + a_d·Wh_v),
+ *   α = edge-softmax over v's incoming edges,
+ *   h'_v = ‖_heads Σ_u α_uv Whᵤ, then ELU.
+ *
+ * The edge-softmax is the operation whose implementation differs most
+ * between the frameworks (fused kernel in DGL, scatter composition in
+ * PyG — §IV-C).
+ */
+
+#ifndef GNNPERF_MODELS_GAT_HH
+#define GNNPERF_MODELS_GAT_HH
+
+#include "models/gnn_model.hh"
+#include "nn/batch_norm.hh"
+
+namespace gnnperf {
+
+/** One multi-head GAT layer. */
+class GatConv : public nn::Module
+{
+  public:
+    /**
+     * @param out_features total output width (= heads × per-head dim;
+     *        must be divisible by heads)
+     */
+    GatConv(const Backend &backend, int64_t in_features,
+            int64_t out_features, int heads, bool batch_norm,
+            bool residual, bool output_layer, float dropout, Rng &rng);
+
+    Var forward(BatchedGraph &batch, const Var &h);
+
+  private:
+    /** Per-head dot with an attention vector: [N,H·D]×[H·D] → [N,H]. */
+    static Var headDot(const Var &x, const Var &a, int64_t heads);
+
+    const Backend &backend_;
+    std::unique_ptr<nn::Linear> proj_;  ///< W, no bias
+    Var attnSrc_;                        ///< aₛ, [H·D]
+    Var attnDst_;                        ///< a_d, [H·D]
+    std::unique_ptr<nn::BatchNorm1d> bn_;
+    std::unique_ptr<nn::Dropout> attnDropout_;
+    std::unique_ptr<nn::Dropout> dropout_;
+    int heads_;
+    bool residual_;
+    bool outputLayer_;
+};
+
+/** The full GAT model. */
+class Gat : public GnnModel
+{
+  public:
+    Gat(const Backend &backend, const ModelConfig &cfg);
+
+    ModelKind modelKind() const override { return ModelKind::GAT; }
+
+  protected:
+    Var forwardConvs(BatchedGraph &batch, Var h) override;
+
+  private:
+    std::vector<std::unique_ptr<GatConv>> convs_;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_MODELS_GAT_HH

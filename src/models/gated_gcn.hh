@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GatedGCN / Residual Gated Graph ConvNet (Bresson & Laurent, 2017).
+ *
+ * Per edge (u→v): ê_uv = A h_v + B h_u (+ C e_uv), gate η = σ(ê);
+ * per node: h'_v = U h_v + (Σ_u η ∘ V hᵤ) / (Σ_u η + ε), with batch
+ * norm, ReLU and residual connections on nodes (and on the edge
+ * stream when it exists).
+ *
+ * Framework split reproduced from the paper (§IV-A observation 3):
+ * under DGL an explicit edge-feature stream is mandatory — every edge's
+ * features are updated through a fully connected layer each layer,
+ * dominating GatedGCN's DGL time and memory; under PyG no edge stream
+ * is kept (gates are computed from endpoint features only).
+ */
+
+#ifndef GNNPERF_MODELS_GATED_GCN_HH
+#define GNNPERF_MODELS_GATED_GCN_HH
+
+#include "models/gnn_model.hh"
+#include "nn/batch_norm.hh"
+
+namespace gnnperf {
+
+/** One GatedGCN layer. */
+class GatedGcnConv : public nn::Module
+{
+  public:
+    GatedGcnConv(const Backend &backend, int64_t in_features,
+                 int64_t out_features, int64_t edge_in_features,
+                 bool edge_stream, bool batch_norm, bool residual,
+                 bool output_layer, float dropout, Rng &rng);
+
+    /**
+     * @param e edge-feature stream [E, edge_in]; updated in place to
+     *        the layer's output width when the stream is enabled
+     *        (undefined Var otherwise).
+     */
+    Var forward(BatchedGraph &batch, const Var &h, Var &e);
+
+  private:
+    const Backend &backend_;
+    std::unique_ptr<nn::Linear> gateDst_;   ///< A
+    std::unique_ptr<nn::Linear> gateSrc_;   ///< B
+    std::unique_ptr<nn::Linear> gateEdge_;  ///< C (edge stream only)
+    std::unique_ptr<nn::Linear> update_;    ///< U
+    std::unique_ptr<nn::Linear> message_;   ///< V
+    std::unique_ptr<nn::BatchNorm1d> bnNode_;
+    std::unique_ptr<nn::BatchNorm1d> bnEdge_;
+    std::unique_ptr<nn::Dropout> dropout_;
+    bool edgeStream_;
+    bool residual_;
+    bool outputLayer_;
+};
+
+/** The full GatedGCN model. */
+class GatedGcn : public GnnModel
+{
+  public:
+    GatedGcn(const Backend &backend, const ModelConfig &cfg);
+
+    ModelKind modelKind() const override { return ModelKind::GatedGCN; }
+
+  protected:
+    Var forwardConvs(BatchedGraph &batch, Var h) override;
+
+  private:
+    std::vector<std::unique_ptr<GatedGcnConv>> convs_;
+    std::unique_ptr<nn::Linear> edgeEmbed_;  ///< DGL: 1 → width
+    bool edgeStream_;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_MODELS_GATED_GCN_HH

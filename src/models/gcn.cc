@@ -1,0 +1,77 @@
+#include "models/gcn.hh"
+
+#include "autograd/functions.hh"
+#include "common/string_utils.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+
+GcnConv::GcnConv(const Backend &backend, int64_t in_features,
+                 int64_t out_features, bool batch_norm, bool residual,
+                 bool output_layer, float dropout, Rng &rng)
+    : backend_(backend),
+      residual_(residual && in_features == out_features),
+      outputLayer_(output_layer)
+{
+    linear_ = std::make_unique<nn::Linear>(in_features, out_features,
+                                           rng);
+    registerModule("linear", linear_.get());
+    if (batch_norm && !output_layer) {
+        bn_ = std::make_unique<nn::BatchNorm1d>(out_features);
+        registerModule("bn", bn_.get());
+    }
+    if (dropout > 0.0f) {
+        dropout_ = std::make_unique<nn::Dropout>(dropout, rng);
+        registerModule("dropout", dropout_.get());
+    }
+}
+
+Var
+GcnConv::forward(BatchedGraph &batch, const Var &h,
+                 const Var &deg_inv_sqrt)
+{
+    // Normalise, aggregate (with self loop), normalise again — the
+    // before/after feature normalisation the paper highlights.
+    Var scaled = fn::mulCols(h, deg_inv_sqrt);
+    Var agg = backend_.aggregate(batch, scaled, Reduce::Sum);
+    agg = fn::add(agg, scaled);
+    agg = fn::mulCols(agg, deg_inv_sqrt);
+
+    Var out = linear_->forward(agg);
+    if (bn_)
+        out = bn_->forward(out);
+    if (!outputLayer_)
+        out = fn::relu(out);
+    if (residual_)
+        out = fn::add(out, h);
+    if (dropout_ && !outputLayer_)
+        out = dropout_->forward(out);
+    return out;
+}
+
+Gcn::Gcn(const Backend &backend, const ModelConfig &cfg)
+    : GnnModel(backend, cfg)
+{
+    for (int layer = 0; layer < cfg_.numLayers; ++layer) {
+        convs_.push_back(std::make_unique<GcnConv>(
+            backend_, layerInWidth(layer), layerOutWidth(layer),
+            cfg_.batchNorm, cfg_.residual, isOutputLayer(layer),
+            cfg_.dropout, rng_));
+        registerModule(strprintf("conv%d", layer + 1),
+                       convs_.back().get());
+    }
+}
+
+Var
+Gcn::forwardConvs(BatchedGraph &batch, Var h)
+{
+    Var dis = degreeInvSqrt(batch);
+    for (std::size_t layer = 0; layer < convs_.size(); ++layer) {
+        LayerScope scope(
+            strprintf("conv%zu", layer + 1).c_str());
+        h = convs_[layer]->forward(batch, h, dis);
+    }
+    return h;
+}
+
+} // namespace gnnperf

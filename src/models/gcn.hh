@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Graph Convolutional Network (Kipf & Welling, 2017) — paper Eq. 1.
+ *
+ * Each layer symmetrically normalises node features by degree before
+ * and after aggregation (the paper notes this normalisation dominates
+ * GCN's layer time, §IV-C), aggregates neighbors plus a self loop,
+ * and applies a linear transform.
+ */
+
+#ifndef GNNPERF_MODELS_GCN_HH
+#define GNNPERF_MODELS_GCN_HH
+
+#include "models/gnn_model.hh"
+#include "nn/batch_norm.hh"
+
+namespace gnnperf {
+
+/** One GCN layer. */
+class GcnConv : public nn::Module
+{
+  public:
+    GcnConv(const Backend &backend, int64_t in_features,
+            int64_t out_features, bool batch_norm, bool residual,
+            bool output_layer, float dropout, Rng &rng);
+
+    Var forward(BatchedGraph &batch, const Var &h,
+                const Var &deg_inv_sqrt);
+
+  private:
+    const Backend &backend_;
+    std::unique_ptr<nn::Linear> linear_;
+    std::unique_ptr<nn::BatchNorm1d> bn_;
+    std::unique_ptr<nn::Dropout> dropout_;
+    bool residual_;
+    bool outputLayer_;
+};
+
+/** The full GCN model. */
+class Gcn : public GnnModel
+{
+  public:
+    Gcn(const Backend &backend, const ModelConfig &cfg);
+
+    ModelKind modelKind() const override { return ModelKind::GCN; }
+
+  protected:
+    Var forwardConvs(BatchedGraph &batch, Var h) override;
+
+  private:
+    std::vector<std::unique_ptr<GcnConv>> convs_;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_MODELS_GCN_HH

@@ -1,0 +1,76 @@
+#include "models/gin.hh"
+
+#include "autograd/functions.hh"
+#include "common/string_utils.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+
+GinConv::GinConv(const Backend &backend, int64_t in_features,
+                 int64_t out_features, bool learn_eps, bool residual,
+                 bool output_layer, float dropout, Rng &rng)
+    : backend_(backend),
+      residual_(residual && in_features == out_features),
+      outputLayer_(output_layer)
+{
+    fc1_ = std::make_unique<nn::Linear>(in_features, out_features, rng);
+    registerModule("fc1", fc1_.get());
+    fc2_ = std::make_unique<nn::Linear>(out_features, out_features,
+                                        rng);
+    registerModule("fc2", fc2_.get());
+    bn_ = std::make_unique<nn::BatchNorm1d>(out_features);
+    registerModule("bn", bn_.get());
+    if (learn_eps)
+        eps_ = registerParameter("eps", Tensor::zeros({1}));
+    if (dropout > 0.0f) {
+        dropout_ = std::make_unique<nn::Dropout>(dropout, rng);
+        registerModule("dropout", dropout_.get());
+    }
+}
+
+Var
+GinConv::forward(BatchedGraph &batch, const Var &h)
+{
+    Var agg = backend_.aggregate(batch, h, Reduce::Sum);
+    // z = (1 + ε) h + Σ_j h_j
+    Var z = fn::add(h, agg);
+    if (eps_.defined())
+        z = fn::add(z, fn::mulScalarVar(h, eps_));
+
+    Var out = fc1_->forward(z);
+    out = bn_->forward(out);
+    out = fn::relu(out);
+    out = fc2_->forward(out);
+    if (!outputLayer_)
+        out = fn::relu(out);
+    if (residual_)
+        out = fn::add(out, h);
+    if (dropout_ && !outputLayer_)
+        out = dropout_->forward(out);
+    return out;
+}
+
+Gin::Gin(const Backend &backend, const ModelConfig &cfg)
+    : GnnModel(backend, cfg)
+{
+    for (int layer = 0; layer < cfg_.numLayers; ++layer) {
+        convs_.push_back(std::make_unique<GinConv>(
+            backend_, layerInWidth(layer), layerOutWidth(layer),
+            cfg_.learnEps, cfg_.residual, isOutputLayer(layer),
+            cfg_.dropout, rng_));
+        registerModule(strprintf("conv%d", layer + 1),
+                       convs_.back().get());
+    }
+}
+
+Var
+Gin::forwardConvs(BatchedGraph &batch, Var h)
+{
+    for (std::size_t layer = 0; layer < convs_.size(); ++layer) {
+        LayerScope scope(strprintf("conv%zu", layer + 1).c_str());
+        h = convs_[layer]->forward(batch, h);
+    }
+    return h;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Graph Isomorphism Network (Xu et al., 2019) — paper Eq. 3:
+ * h' = σ(W σ(BN(V((1+ε)h + Σ_j h_j)))), with sum aggregation and a
+ * learnable ε (Tables II/III: neighbor_aggr=sum, learn_eps=true).
+ */
+
+#ifndef GNNPERF_MODELS_GIN_HH
+#define GNNPERF_MODELS_GIN_HH
+
+#include "models/gnn_model.hh"
+#include "nn/batch_norm.hh"
+
+namespace gnnperf {
+
+/** One GIN layer (the two-linear MLP update of Eq. 3). */
+class GinConv : public nn::Module
+{
+  public:
+    GinConv(const Backend &backend, int64_t in_features,
+            int64_t out_features, bool learn_eps, bool residual,
+            bool output_layer, float dropout, Rng &rng);
+
+    Var forward(BatchedGraph &batch, const Var &h);
+
+  private:
+    const Backend &backend_;
+    std::unique_ptr<nn::Linear> fc1_;  ///< V in Eq. 3
+    std::unique_ptr<nn::Linear> fc2_;  ///< W in Eq. 3
+    std::unique_ptr<nn::BatchNorm1d> bn_;
+    std::unique_ptr<nn::Dropout> dropout_;
+    Var eps_;  ///< learnable ε, undefined when learn_eps = false
+    bool residual_;
+    bool outputLayer_;
+};
+
+/** The full GIN model. */
+class Gin : public GnnModel
+{
+  public:
+    Gin(const Backend &backend, const ModelConfig &cfg);
+
+    ModelKind modelKind() const override { return ModelKind::GIN; }
+
+  protected:
+    Var forwardConvs(BatchedGraph &batch, Var h) override;
+
+  private:
+    std::vector<std::unique_ptr<GinConv>> convs_;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_MODELS_GIN_HH

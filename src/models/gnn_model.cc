@@ -1,0 +1,109 @@
+#include "models/gnn_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+
+const char *
+modelName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::GCN: return "GCN";
+      case ModelKind::GAT: return "GAT";
+      case ModelKind::GraphSage: return "SAGE";
+      case ModelKind::GIN: return "GIN";
+      case ModelKind::MoNet: return "MoNet";
+      case ModelKind::GatedGCN: return "GatedGCN";
+    }
+    return "?";
+}
+
+std::vector<ModelKind>
+allModels()
+{
+    return {ModelKind::GCN, ModelKind::GAT, ModelKind::GraphSage,
+            ModelKind::GIN, ModelKind::MoNet, ModelKind::GatedGCN};
+}
+
+bool
+isAnisotropic(ModelKind kind)
+{
+    return kind == ModelKind::GAT || kind == ModelKind::MoNet ||
+           kind == ModelKind::GatedGCN;
+}
+
+GnnModel::GnnModel(const Backend &backend, const ModelConfig &cfg)
+    : backend_(backend), cfg_(cfg), rng_(cfg.seed)
+{
+    gnnperf_assert(cfg_.inFeatures > 0, "model: inFeatures unset");
+    gnnperf_assert(cfg_.numClasses > 0, "model: numClasses unset");
+    gnnperf_assert(cfg_.numLayers >= 1, "model: numLayers < 1");
+    if (cfg_.graphTask) {
+        embed_ = std::make_unique<nn::Linear>(cfg_.inFeatures,
+                                              cfg_.hidden, rng_);
+        registerModule("embed", embed_.get());
+        readout_ = std::make_unique<nn::MlpReadout>(cfg_.hidden,
+                                                    cfg_.numClasses,
+                                                    rng_);
+        registerModule("classifier", readout_.get());
+    }
+}
+
+int64_t
+GnnModel::layerInWidth(int layer) const
+{
+    if (cfg_.graphTask)
+        return cfg_.hidden;  // embedding precedes the stack
+    return layer == 0 ? cfg_.inFeatures : cfg_.hidden;
+}
+
+int64_t
+GnnModel::layerOutWidth(int layer) const
+{
+    if (cfg_.graphTask)
+        return cfg_.hidden;
+    return layer == cfg_.numLayers - 1 ? cfg_.numClasses : cfg_.hidden;
+}
+
+Var
+GnnModel::degreeInvSqrt(const BatchedGraph &batch)
+{
+    gnnperf_assert(batch.inDegrees.defined(),
+                   "degreeInvSqrt: batch without degrees");
+    Tensor out(batch.inDegrees.shape(), batch.inDegrees.device());
+    const float *pd = batch.inDegrees.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < out.numel(); ++i)
+        po[i] = 1.0f / std::sqrt(pd[i] + 1.0f);
+    recordKernel("deg_inv_sqrt", 3.0 * static_cast<double>(out.numel()),
+                 2.0 * static_cast<double>(out.bytes()));
+    return Var(out);
+}
+
+Var
+GnnModel::forward(BatchedGraph &batch)
+{
+    gnnperf_assert(batch.x.defined() &&
+                   batch.x.device() == DeviceKind::Cuda,
+                   "forward: batch features not on device");
+    Var h(batch.x);
+    if (cfg_.graphTask) {
+        LayerScope scope("embed");
+        h = embed_->forward(h);
+    }
+    h = forwardConvs(batch, h);
+    if (!cfg_.graphTask)
+        return h;
+    Var pooled;
+    {
+        LayerScope scope("readout");
+        pooled = backend_.readoutMean(batch, h);
+    }
+    LayerScope scope("classifier");
+    return readout_->forward(pooled);
+}
+
+} // namespace gnnperf

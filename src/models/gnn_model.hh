@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Common structure of the six GNN workloads.
+ *
+ * Every model follows the architecture the paper evaluates (§III-A,
+ * §IV): node-classification variants are two conv layers
+ * (input → hidden → classes, Table II); graph-classification variants
+ * are an input embedding, four conv layers with batch norm and
+ * residual connections, mean readout, and an MLP classifier
+ * (Table III, §IV-B.4). Models are written once against the Backend
+ * interface so PyG and DGL variants share code exactly as the paper's
+ * "same network" methodology requires (§III-C).
+ */
+
+#ifndef GNNPERF_MODELS_GNN_MODEL_HH
+#define GNNPERF_MODELS_GNN_MODEL_HH
+
+#include <memory>
+#include <string>
+
+#include "backends/backend.hh"
+#include "nn/dropout.hh"
+#include "nn/linear.hh"
+#include "nn/mlp.hh"
+#include "nn/module.hh"
+
+namespace gnnperf {
+
+/** The six workloads. */
+enum class ModelKind { GCN, GAT, GraphSage, GIN, MoNet, GatedGCN };
+
+/** Paper-style model name ("GCN", "GAT", "SAGE", ...). */
+const char *modelName(ModelKind kind);
+
+/** All six, in the tables' order. */
+std::vector<ModelKind> allModels();
+
+/** Isotropic (GCN/GIN/SAGE) vs anisotropic (GAT/MoNet/GatedGCN). */
+bool isAnisotropic(ModelKind kind);
+
+/** Architecture configuration (hyper-parameters from Tables II/III). */
+struct ModelConfig
+{
+    int64_t inFeatures = 0;   ///< dataset feature width
+    int64_t hidden = 64;      ///< conv layer width
+    int64_t numClasses = 2;
+    int numLayers = 2;        ///< conv layers (2 node / 4 graph tasks)
+    int heads = 8;            ///< GAT attention heads
+    int kernels = 2;          ///< MoNet Gaussian kernels
+    float dropout = 0.0f;
+    bool graphTask = false;   ///< readout+MLP head vs node logits
+    bool batchNorm = false;   ///< BN in conv layers (graph tasks)
+    bool residual = false;    ///< residual connections (graph tasks)
+    bool learnEps = true;     ///< GIN's learnable epsilon
+    uint64_t seed = 1;        ///< initialisation seed
+};
+
+/**
+ * Base class: embedding, conv stack, readout, classifier; layer-scope
+ * annotation for the Fig. 3 layer-wise breakdown.
+ */
+class GnnModel : public nn::Module
+{
+  public:
+    ~GnnModel() override = default;
+
+    /**
+     * Full forward pass: batch features → logits ([N, C] for node
+     * tasks, [numGraphs, C] for graph tasks). The batch must have its
+     * features on the device already (collate does this).
+     */
+    Var forward(BatchedGraph &batch);
+
+    virtual ModelKind modelKind() const = 0;
+    const char *name() const { return modelName(modelKind()); }
+
+    const ModelConfig &config() const { return cfg_; }
+    const Backend &backend() const { return backend_; }
+
+  protected:
+    GnnModel(const Backend &backend, const ModelConfig &cfg);
+
+    /** The conv stack: node features in, node features out. */
+    virtual Var forwardConvs(BatchedGraph &batch, Var h) = 0;
+
+    /** 1/sqrt(deg+1) per node, as a constant Var (GCN/MoNet norm). */
+    static Var degreeInvSqrt(const BatchedGraph &batch);
+
+    /** Width of a conv layer's input/output given its index. */
+    int64_t layerInWidth(int layer) const;
+    int64_t layerOutWidth(int layer) const;
+    bool isOutputLayer(int layer) const
+    {
+        return !cfg_.graphTask && layer == cfg_.numLayers - 1;
+    }
+
+    const Backend &backend_;
+    ModelConfig cfg_;
+    Rng rng_;
+
+    std::unique_ptr<nn::Linear> embed_;        ///< graph tasks only
+    std::unique_ptr<nn::MlpReadout> readout_;  ///< graph tasks only
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_MODELS_GNN_MODEL_HH

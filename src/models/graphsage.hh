@@ -1,0 +1,54 @@
+/**
+ * @file
+ * GraphSAGE (Hamilton et al., 2017) — paper Eq. 2, "meanpool"
+ * aggregator per Tables II/III: neighbors are transformed by a pooling
+ * MLP, mean-reduced, concatenated with the node's own features, and
+ * the result is projected onto the unit ball (row L2 normalisation).
+ */
+
+#ifndef GNNPERF_MODELS_GRAPHSAGE_HH
+#define GNNPERF_MODELS_GRAPHSAGE_HH
+
+#include "models/gnn_model.hh"
+#include "nn/batch_norm.hh"
+
+namespace gnnperf {
+
+/** One GraphSAGE (pool) layer. */
+class SageConv : public nn::Module
+{
+  public:
+    SageConv(const Backend &backend, int64_t in_features,
+             int64_t out_features, bool batch_norm, bool residual,
+             bool output_layer, float dropout, Rng &rng);
+
+    Var forward(BatchedGraph &batch, const Var &h);
+
+  private:
+    const Backend &backend_;
+    std::unique_ptr<nn::Linear> pool_;    ///< neighbor transform
+    std::unique_ptr<nn::Linear> update_;  ///< on concat(self, agg)
+    std::unique_ptr<nn::BatchNorm1d> bn_;
+    std::unique_ptr<nn::Dropout> dropout_;
+    bool residual_;
+    bool outputLayer_;
+};
+
+/** The full GraphSAGE model. */
+class GraphSage : public GnnModel
+{
+  public:
+    GraphSage(const Backend &backend, const ModelConfig &cfg);
+
+    ModelKind modelKind() const override { return ModelKind::GraphSage; }
+
+  protected:
+    Var forwardConvs(BatchedGraph &batch, Var h) override;
+
+  private:
+    std::vector<std::unique_ptr<SageConv>> convs_;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_MODELS_GRAPHSAGE_HH

@@ -1,0 +1,47 @@
+#include "models/model_factory.hh"
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+#include "models/gat.hh"
+#include "models/gated_gcn.hh"
+#include "models/gcn.hh"
+#include "models/gin.hh"
+#include "models/graphsage.hh"
+#include "models/monet.hh"
+
+namespace gnnperf {
+
+std::unique_ptr<GnnModel>
+makeModel(ModelKind kind, const Backend &backend, const ModelConfig &cfg)
+{
+    switch (kind) {
+      case ModelKind::GCN:
+        return std::make_unique<Gcn>(backend, cfg);
+      case ModelKind::GAT:
+        return std::make_unique<Gat>(backend, cfg);
+      case ModelKind::GraphSage:
+        return std::make_unique<GraphSage>(backend, cfg);
+      case ModelKind::GIN:
+        return std::make_unique<Gin>(backend, cfg);
+      case ModelKind::MoNet:
+        return std::make_unique<MoNet>(backend, cfg);
+      case ModelKind::GatedGCN:
+        return std::make_unique<GatedGcn>(backend, cfg);
+    }
+    gnnperf_panic("unknown model kind");
+}
+
+ModelKind
+modelKindFromName(const std::string &name)
+{
+    if (iequals(name, "gcn")) return ModelKind::GCN;
+    if (iequals(name, "gat")) return ModelKind::GAT;
+    if (iequals(name, "sage") || iequals(name, "graphsage"))
+        return ModelKind::GraphSage;
+    if (iequals(name, "gin")) return ModelKind::GIN;
+    if (iequals(name, "monet")) return ModelKind::MoNet;
+    if (iequals(name, "gatedgcn")) return ModelKind::GatedGCN;
+    gnnperf_fatal("unknown model name: ", name);
+}
+
+} // namespace gnnperf

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Model construction by kind.
+ */
+
+#ifndef GNNPERF_MODELS_MODEL_FACTORY_HH
+#define GNNPERF_MODELS_MODEL_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "models/gnn_model.hh"
+
+namespace gnnperf {
+
+/** Construct a model of the given kind against a backend. */
+std::unique_ptr<GnnModel> makeModel(ModelKind kind,
+                                    const Backend &backend,
+                                    const ModelConfig &cfg);
+
+/** Parse a model name ("GCN", "gat", "SAGE", "graphsage", ...). */
+ModelKind modelKindFromName(const std::string &name);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_MODELS_MODEL_FACTORY_HH

@@ -1,0 +1,97 @@
+#include "models/monet.hh"
+
+#include "autograd/functions.hh"
+#include "common/string_utils.hh"
+#include "device/profiler.hh"
+#include "tensor/init.hh"
+
+namespace gnnperf {
+
+MoNetConv::MoNetConv(const Backend &backend, int64_t in_features,
+                     int64_t out_features, int kernels, bool batch_norm,
+                     bool residual, bool output_layer, float dropout,
+                     Rng &rng)
+    : backend_(backend),
+      kernels_(kernels),
+      residual_(residual && in_features == out_features),
+      outputLayer_(output_layer)
+{
+    pseudoProj_ = std::make_unique<nn::Linear>(2, 2, rng);
+    registerModule("pseudo_proj", pseudoProj_.get());
+    for (int k = 0; k < kernels; ++k) {
+        kernelProj_.push_back(std::make_unique<nn::Linear>(
+            in_features, out_features, rng, /*bias=*/false));
+        registerModule(strprintf("kernel_proj%d", k),
+                       kernelProj_.back().get());
+        mu_.push_back(registerParameter(
+            strprintf("mu%d", k),
+            init::normal({2}, 0.0f, 0.1f, rng)));
+        invSigma_.push_back(registerParameter(
+            strprintf("inv_sigma%d", k), Tensor::ones({2})));
+    }
+    if (batch_norm && !output_layer) {
+        bn_ = std::make_unique<nn::BatchNorm1d>(out_features);
+        registerModule("bn", bn_.get());
+    }
+    if (dropout > 0.0f) {
+        dropout_ = std::make_unique<nn::Dropout>(dropout, rng);
+        registerModule("dropout", dropout_.get());
+    }
+}
+
+Var
+MoNetConv::forward(BatchedGraph &batch, const Var &h)
+{
+    // Pseudo-coordinates, projected per layer (tanh squashing).
+    Var pseudo(batch.edgePseudoCoordinates());
+    Var u = fn::tanhV(pseudoProj_->forward(pseudo));  // [E, 2]
+
+    Var out;
+    for (int k = 0; k < kernels_; ++k) {
+        // Gaussian weight w_k(u) = exp(-1/2 ‖(u − μ_k) ∘ σ_k^-1‖²)
+        Var diff = fn::subRowVec(u, mu_[k]);
+        Var scaled = fn::mulRowVec(diff, invSigma_[k]);
+        Var dist2 = fn::sumCols(fn::square(scaled));         // [E]
+        Var w = fn::expV(fn::scale(dist2, -0.5f));           // [E]
+        Var w_col = fn::reshape(w, {w.numel(), 1});          // [E, 1]
+
+        Var vh = kernelProj_[k]->forward(h);
+        Var agg = backend_.aggregateWeighted(batch, vh, w_col, 1);
+        out = (k == 0) ? agg : fn::add(out, agg);
+    }
+
+    if (bn_)
+        out = bn_->forward(out);
+    if (!outputLayer_)
+        out = fn::relu(out);
+    if (residual_)
+        out = fn::add(out, h);
+    if (dropout_ && !outputLayer_)
+        out = dropout_->forward(out);
+    return out;
+}
+
+MoNet::MoNet(const Backend &backend, const ModelConfig &cfg)
+    : GnnModel(backend, cfg)
+{
+    for (int layer = 0; layer < cfg_.numLayers; ++layer) {
+        convs_.push_back(std::make_unique<MoNetConv>(
+            backend_, layerInWidth(layer), layerOutWidth(layer),
+            cfg_.kernels, cfg_.batchNorm, cfg_.residual,
+            isOutputLayer(layer), cfg_.dropout, rng_));
+        registerModule(strprintf("conv%d", layer + 1),
+                       convs_.back().get());
+    }
+}
+
+Var
+MoNet::forwardConvs(BatchedGraph &batch, Var h)
+{
+    for (std::size_t layer = 0; layer < convs_.size(); ++layer) {
+        LayerScope scope(strprintf("conv%zu", layer + 1).c_str());
+        h = convs_[layer]->forward(batch, h);
+    }
+    return h;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MoNet / Gaussian Mixture Model network (Monti et al., 2017).
+ *
+ * Degree-derived pseudo-coordinates u_uv = (deg_u^-1/2, deg_v^-1/2)
+ * are projected per layer, and K Gaussian kernels with learnable means
+ * and scales produce per-edge weights for K weighted aggregations
+ * (Tables II/III: K = 2, pseudo dim = 2).
+ */
+
+#ifndef GNNPERF_MODELS_MONET_HH
+#define GNNPERF_MODELS_MONET_HH
+
+#include "models/gnn_model.hh"
+#include "nn/batch_norm.hh"
+
+namespace gnnperf {
+
+/** One MoNet layer. */
+class MoNetConv : public nn::Module
+{
+  public:
+    MoNetConv(const Backend &backend, int64_t in_features,
+              int64_t out_features, int kernels, bool batch_norm,
+              bool residual, bool output_layer, float dropout,
+              Rng &rng);
+
+    Var forward(BatchedGraph &batch, const Var &h);
+
+  private:
+    const Backend &backend_;
+    std::unique_ptr<nn::Linear> pseudoProj_;  ///< 2 → 2 projection
+    std::vector<std::unique_ptr<nn::Linear>> kernelProj_;  ///< V_k
+    std::vector<Var> mu_;       ///< kernel means, [2] each
+    std::vector<Var> invSigma_; ///< kernel inverse scales, [2] each
+    std::unique_ptr<nn::BatchNorm1d> bn_;
+    std::unique_ptr<nn::Dropout> dropout_;
+    int kernels_;
+    bool residual_;
+    bool outputLayer_;
+};
+
+/** The full MoNet model. */
+class MoNet : public GnnModel
+{
+  public:
+    MoNet(const Backend &backend, const ModelConfig &cfg);
+
+    ModelKind modelKind() const override { return ModelKind::MoNet; }
+
+  protected:
+    Var forwardConvs(BatchedGraph &batch, Var h) override;
+
+  private:
+    std::vector<std::unique_ptr<MoNetConv>> convs_;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_MODELS_MONET_HH

@@ -1,0 +1,51 @@
+#include "nn/activation.hh"
+
+#include "autograd/functions.hh"
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gnnperf {
+namespace nn {
+
+Var
+applyActivation(Activation act, const Var &x)
+{
+    switch (act) {
+      case Activation::None: return x;
+      case Activation::ReLU: return fn::relu(x);
+      case Activation::ELU: return fn::elu(x);
+      case Activation::LeakyReLU: return fn::leakyRelu(x);
+      case Activation::Sigmoid: return fn::sigmoid(x);
+      case Activation::Tanh: return fn::tanhV(x);
+    }
+    gnnperf_panic("unknown activation");
+}
+
+Activation
+activationFromName(const std::string &name)
+{
+    if (iequals(name, "none")) return Activation::None;
+    if (iequals(name, "relu")) return Activation::ReLU;
+    if (iequals(name, "elu")) return Activation::ELU;
+    if (iequals(name, "leaky_relu")) return Activation::LeakyReLU;
+    if (iequals(name, "sigmoid")) return Activation::Sigmoid;
+    if (iequals(name, "tanh")) return Activation::Tanh;
+    gnnperf_fatal("unknown activation name: ", name);
+}
+
+const char *
+activationName(Activation act)
+{
+    switch (act) {
+      case Activation::None: return "none";
+      case Activation::ReLU: return "relu";
+      case Activation::ELU: return "elu";
+      case Activation::LeakyReLU: return "leaky_relu";
+      case Activation::Sigmoid: return "sigmoid";
+      case Activation::Tanh: return "tanh";
+    }
+    return "?";
+}
+
+} // namespace nn
+} // namespace gnnperf

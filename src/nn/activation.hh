@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Activation selection shared by configurable modules (MLP, conv
+ * layers). The individual activation functions live in
+ * autograd/functions.hh; this header provides an enum + apply helper
+ * so activations can be chosen from configuration.
+ */
+
+#ifndef GNNPERF_NN_ACTIVATION_HH
+#define GNNPERF_NN_ACTIVATION_HH
+
+#include <string>
+
+#include "autograd/variable.hh"
+
+namespace gnnperf {
+namespace nn {
+
+/** Supported activations. */
+enum class Activation { None, ReLU, ELU, LeakyReLU, Sigmoid, Tanh };
+
+/** Apply an activation. */
+Var applyActivation(Activation act, const Var &x);
+
+/** Name → enum ("relu", "elu", ...), fatal on unknown names. */
+Activation activationFromName(const std::string &name);
+
+/** Enum → name. */
+const char *activationName(Activation act);
+
+} // namespace nn
+} // namespace gnnperf
+
+#endif // GNNPERF_NN_ACTIVATION_HH

@@ -1,0 +1,136 @@
+#include "nn/batch_norm.hh"
+
+#include <cmath>
+
+#include "autograd/functions.hh"
+#include "common/logging.hh"
+#include "device/profiler.hh"
+#include "tensor/ops.hh"
+
+namespace gnnperf {
+namespace nn {
+
+using autograd::Node;
+
+BatchNorm1d::BatchNorm1d(int64_t num_features, float eps, float momentum)
+    : numFeatures_(num_features), eps_(eps), momentum_(momentum)
+{
+    gamma_ = registerParameter("gamma", Tensor::ones({num_features}));
+    beta_ = registerParameter("beta", Tensor::zeros({num_features}));
+    runningMean_ = Tensor::zeros({num_features});
+    runningVar_ = Tensor::ones({num_features});
+    registerBuffer("running_mean", &runningMean_);
+    registerBuffer("running_var", &runningVar_);
+}
+
+Var
+BatchNorm1d::forward(const Var &x)
+{
+    gnnperf_assert(x.rank() == 2 && x.dim(1) == numFeatures_,
+                   "BatchNorm1d: ", x.value().describe(), " expected F=",
+                   numFeatures_);
+    const int64_t n = x.dim(0);
+    const int64_t f = numFeatures_;
+
+    if (!training()) {
+        // y = gamma * (x - mean) / sqrt(var + eps) + beta, using the
+        // running statistics as constants.
+        Tensor invstd(runningVar_.shape(), runningVar_.device());
+        for (int64_t j = 0; j < f; ++j)
+            invstd.set(j, 1.0f / std::sqrt(runningVar_.at(j) + eps_));
+        recordKernel("bn_eval_prep", 2.0 * static_cast<double>(f),
+                     2.0 * static_cast<double>(f) * sizeof(float));
+        Var centered = fn::subRowVec(x, Var(runningMean_));
+        Var scaled = fn::mulRowVec(centered, Var(invstd));
+        Var with_gamma = fn::mulRowVec(scaled, gamma_);
+        return fn::addBias(with_gamma, beta_);
+    }
+
+    // Training mode: batch statistics + custom fused backward.
+    Tensor mean = ops::meanRows(x.value());
+    Tensor var = ops::varRows(x.value(), mean);
+
+    // Update running statistics (no autograd involvement).
+    for (int64_t j = 0; j < f; ++j) {
+        runningMean_.set(j, (1.0f - momentum_) * runningMean_.at(j) +
+                            momentum_ * mean.at(j));
+        runningVar_.set(j, (1.0f - momentum_) * runningVar_.at(j) +
+                           momentum_ * var.at(j));
+    }
+
+    Tensor invstd({f}, x.value().device());
+    for (int64_t j = 0; j < f; ++j)
+        invstd.set(j, 1.0f / std::sqrt(var.at(j) + eps_));
+
+    // xhat = (x - mean) * invstd ; y = gamma * xhat + beta
+    Tensor xhat(x.value().shape(), x.value().device());
+    Tensor out(x.value().shape(), x.value().device());
+    {
+        const float *px = x.value().data();
+        const float *pm = mean.data();
+        const float *pi = invstd.data();
+        const float *pg = gamma_.value().data();
+        const float *pb = beta_.value().data();
+        float *ph = xhat.data();
+        float *po = out.data();
+        for (int64_t i = 0; i < n; ++i) {
+            for (int64_t j = 0; j < f; ++j) {
+                const float h = (px[i * f + j] - pm[j]) * pi[j];
+                ph[i * f + j] = h;
+                po[i * f + j] = pg[j] * h + pb[j];
+            }
+        }
+    }
+    recordKernel("batch_norm", 4.0 * static_cast<double>(n * f),
+                 3.0 * static_cast<double>(x.value().bytes()));
+
+    Tensor xhat_c = xhat, invstd_c = invstd;
+    Tensor gamma_v = gamma_.value();
+    return Var::makeOp("batch_norm", std::move(out), {x, gamma_, beta_},
+        [xhat_c, invstd_c, gamma_v, n, f](Node &node) {
+            const Tensor &g = node.grad;
+            const float *pg = g.data();
+            const float *ph = xhat_c.data();
+
+            // dgamma_j = sum_i g_ij xhat_ij ; dbeta_j = sum_i g_ij
+            Tensor dgamma = Tensor::zeros({f}, g.device());
+            Tensor dbeta = Tensor::zeros({f}, g.device());
+            float *pdg = dgamma.data();
+            float *pdb = dbeta.data();
+            for (int64_t i = 0; i < n; ++i) {
+                for (int64_t j = 0; j < f; ++j) {
+                    pdg[j] += pg[i * f + j] * ph[i * f + j];
+                    pdb[j] += pg[i * f + j];
+                }
+            }
+
+            if (node.inputs[0]->requiresGrad) {
+                // dx = gamma*invstd/N * (N*g - dbeta - xhat*dgamma)
+                Tensor dx(g.shape(), g.device());
+                float *pdx = dx.data();
+                const float *pgam = gamma_v.data();
+                const float *pinv = invstd_c.data();
+                const float inv_n = 1.0f / static_cast<float>(n);
+                for (int64_t i = 0; i < n; ++i) {
+                    for (int64_t j = 0; j < f; ++j) {
+                        const float t = static_cast<float>(n) *
+                                            pg[i * f + j] -
+                                        pdb[j] -
+                                        ph[i * f + j] * pdg[j];
+                        pdx[i * f + j] = pgam[j] * pinv[j] * inv_n * t;
+                    }
+                }
+                recordKernel("batch_norm_bwd",
+                             8.0 * static_cast<double>(n * f),
+                             4.0 * static_cast<double>(g.bytes()));
+                node.inputs[0]->accumulateGrad(dx);
+            }
+            if (node.inputs[1]->requiresGrad)
+                node.inputs[1]->accumulateGrad(dgamma);
+            if (node.inputs[2]->requiresGrad)
+                node.inputs[2]->accumulateGrad(dbeta);
+        });
+}
+
+} // namespace nn
+} // namespace gnnperf

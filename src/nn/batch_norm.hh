@@ -1,0 +1,54 @@
+/**
+ * @file
+ * 1-D batch normalisation over the row dimension.
+ *
+ * GIN (paper Eq. 3) and GatedGCN use BN inside every conv layer; the
+ * graph-classification configurations (Table III) enable it for all
+ * models. Training mode normalises with batch statistics and maintains
+ * running estimates; eval mode uses the running estimates.
+ */
+
+#ifndef GNNPERF_NN_BATCH_NORM_HH
+#define GNNPERF_NN_BATCH_NORM_HH
+
+#include "nn/module.hh"
+
+namespace gnnperf {
+namespace nn {
+
+/**
+ * BatchNorm1d over [N, F] tensors.
+ */
+class BatchNorm1d : public Module
+{
+  public:
+    /**
+     * @param num_features feature width F
+     * @param eps numerical stabiliser inside the square root
+     * @param momentum running-statistics update rate
+     */
+    explicit BatchNorm1d(int64_t num_features, float eps = 1e-5f,
+                         float momentum = 0.1f);
+
+    /** Normalise x ([N, F]) according to the current mode. */
+    Var forward(const Var &x);
+
+    const Tensor &runningMean() const { return runningMean_; }
+    const Tensor &runningVar() const { return runningVar_; }
+    const Var &gamma() const { return gamma_; }
+    const Var &beta() const { return beta_; }
+
+  private:
+    int64_t numFeatures_;
+    float eps_;
+    float momentum_;
+    Var gamma_;           ///< scale, [F]
+    Var beta_;            ///< shift, [F]
+    Tensor runningMean_;  ///< [F]
+    Tensor runningVar_;   ///< [F]
+};
+
+} // namespace nn
+} // namespace gnnperf
+
+#endif // GNNPERF_NN_BATCH_NORM_HH

@@ -1,0 +1,19 @@
+#include "nn/dropout.hh"
+
+#include "autograd/functions.hh"
+
+namespace gnnperf {
+namespace nn {
+
+Dropout::Dropout(float p, Rng &rng) : p_(p), maskSeeds_(rng.fork()) {}
+
+Var
+Dropout::forward(const Var &x)
+{
+    if (!training() || p_ <= 0.0f)
+        return x;
+    return fn::dropout(x, p_, /*training=*/true, maskSeeds_.next());
+}
+
+} // namespace nn
+} // namespace gnnperf

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Dropout module holding its own deterministic mask stream.
+ */
+
+#ifndef GNNPERF_NN_DROPOUT_HH
+#define GNNPERF_NN_DROPOUT_HH
+
+#include "common/random.hh"
+#include "nn/module.hh"
+
+namespace gnnperf {
+namespace nn {
+
+/**
+ * Inverted dropout; inactive in eval mode or when p == 0.
+ */
+class Dropout : public Module
+{
+  public:
+    /**
+     * @param p drop probability
+     * @param rng seed stream (one fresh mask seed is drawn per call)
+     */
+    Dropout(float p, Rng &rng);
+
+    /** Apply dropout according to the current train/eval mode. */
+    Var forward(const Var &x);
+
+    float p() const { return p_; }
+
+  private:
+    float p_;
+    Rng maskSeeds_;
+};
+
+} // namespace nn
+} // namespace gnnperf
+
+#endif // GNNPERF_NN_DROPOUT_HH

@@ -1,0 +1,31 @@
+#include "nn/linear.hh"
+
+#include "autograd/functions.hh"
+#include "tensor/init.hh"
+
+namespace gnnperf {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng &rng,
+               bool bias)
+    : inFeatures_(in_features), outFeatures_(out_features)
+{
+    weight_ = registerParameter(
+        "weight", init::glorotUniform(in_features, out_features, rng));
+    if (bias) {
+        bias_ = registerParameter(
+            "bias", Tensor::zeros({out_features}));
+    }
+}
+
+Var
+Linear::forward(const Var &x) const
+{
+    Var y = fn::matmul(x, weight_);
+    if (bias_.defined())
+        y = fn::addBias(y, bias_);
+    return y;
+}
+
+} // namespace nn
+} // namespace gnnperf

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fully connected layer: y = x·W + b.
+ */
+
+#ifndef GNNPERF_NN_LINEAR_HH
+#define GNNPERF_NN_LINEAR_HH
+
+#include "common/random.hh"
+#include "nn/module.hh"
+
+namespace gnnperf {
+namespace nn {
+
+/**
+ * Affine transform with Glorot-uniform initialised weights.
+ */
+class Linear : public Module
+{
+  public:
+    /**
+     * @param in_features input width
+     * @param out_features output width
+     * @param rng initialisation stream
+     * @param bias whether to add a bias vector
+     */
+    Linear(int64_t in_features, int64_t out_features, Rng &rng,
+           bool bias = true);
+
+    /** y = x·W (+ b). x is [N, in_features]. */
+    Var forward(const Var &x) const;
+
+    int64_t inFeatures() const { return inFeatures_; }
+    int64_t outFeatures() const { return outFeatures_; }
+    bool hasBias() const { return bias_.defined(); }
+
+    /** Direct access for tests. */
+    const Var &weight() const { return weight_; }
+    const Var &bias() const { return bias_; }
+
+  private:
+    int64_t inFeatures_;
+    int64_t outFeatures_;
+    Var weight_;  ///< [in, out]
+    Var bias_;    ///< [out], undefined when bias=false
+};
+
+} // namespace nn
+} // namespace gnnperf
+
+#endif // GNNPERF_NN_LINEAR_HH

@@ -1,0 +1,76 @@
+#include "nn/loss.hh"
+
+#include "autograd/functions.hh"
+#include "common/logging.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+namespace nn {
+
+using autograd::Node;
+
+Var
+nllLoss(const Var &log_probs, const std::vector<int64_t> &targets,
+        const std::vector<int64_t> &row_subset)
+{
+    const Tensor &lp = log_probs.value();
+    gnnperf_assert(lp.rank() == 2, "nllLoss on rank ", lp.rank());
+    const int64_t n = lp.dim(0), c = lp.dim(1);
+    gnnperf_assert(static_cast<int64_t>(targets.size()) == n,
+                   "nllLoss: ", targets.size(), " targets for ", n,
+                   " rows");
+
+    std::vector<int64_t> rows = row_subset;
+    if (rows.empty()) {
+        rows.resize(static_cast<std::size_t>(n));
+        for (int64_t i = 0; i < n; ++i)
+            rows[static_cast<std::size_t>(i)] = i;
+    }
+    gnnperf_assert(!rows.empty(), "nllLoss: empty selection");
+
+    double total = 0.0;
+    const float *p = lp.data();
+    for (int64_t r : rows) {
+        gnnperf_assert(r >= 0 && r < n, "nllLoss: row ", r, " out of ",
+                       n);
+        const int64_t t = targets[static_cast<std::size_t>(r)];
+        gnnperf_assert(t >= 0 && t < c, "nllLoss: label ", t, " out of ",
+                       c);
+        total -= p[r * c + t];
+    }
+    const float inv = 1.0f / static_cast<float>(rows.size());
+    recordKernel("nll_loss", static_cast<double>(rows.size()),
+                 static_cast<double>(rows.size()) * sizeof(float));
+
+    Tensor out = Tensor::scalar(static_cast<float>(total) * inv,
+                                lp.device());
+    std::vector<int64_t> targets_c = targets;
+    std::vector<int64_t> rows_c = rows;
+    return Var::makeOp("nll_loss", std::move(out), {log_probs},
+        [targets_c, rows_c, n, c, inv](Node &node) {
+            if (!node.inputs[0]->requiresGrad)
+                return;
+            Tensor g = Tensor::zeros({n, c}, node.grad.device());
+            const float seed = node.grad.at(0);
+            float *pg = g.data();
+            for (int64_t r : rows_c) {
+                const int64_t t =
+                    targets_c[static_cast<std::size_t>(r)];
+                pg[r * c + t] = -seed * inv;
+            }
+            recordKernel("nll_loss_bwd",
+                         static_cast<double>(rows_c.size()),
+                         static_cast<double>(g.bytes()));
+            node.inputs[0]->accumulateGrad(g);
+        });
+}
+
+Var
+crossEntropy(const Var &logits, const std::vector<int64_t> &targets,
+             const std::vector<int64_t> &row_subset)
+{
+    return nllLoss(fn::logSoftmax(logits), targets, row_subset);
+}
+
+} // namespace nn
+} // namespace gnnperf

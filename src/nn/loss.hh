@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Classification losses.
+ */
+
+#ifndef GNNPERF_NN_LOSS_HH
+#define GNNPERF_NN_LOSS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.hh"
+
+namespace gnnperf {
+namespace nn {
+
+/**
+ * Cross-entropy over raw logits (log-softmax + NLL), averaged over the
+ * selected rows.
+ *
+ * @param logits [N, C] raw scores
+ * @param targets per-row class labels (size N)
+ * @param row_subset rows to include; empty = all rows
+ */
+Var crossEntropy(const Var &logits, const std::vector<int64_t> &targets,
+                 const std::vector<int64_t> &row_subset = {});
+
+/**
+ * Negative log-likelihood over log-probabilities, averaged over the
+ * selected rows (backward writes only the picked entries).
+ */
+Var nllLoss(const Var &log_probs, const std::vector<int64_t> &targets,
+            const std::vector<int64_t> &row_subset = {});
+
+} // namespace nn
+} // namespace gnnperf
+
+#endif // GNNPERF_NN_LOSS_HH

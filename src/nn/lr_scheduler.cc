@@ -1,0 +1,39 @@
+#include "nn/lr_scheduler.hh"
+
+#include <limits>
+
+namespace gnnperf {
+namespace nn {
+
+ReduceLROnPlateau::ReduceLROnPlateau(Adam &optimizer, float factor,
+                                     int patience, float min_lr)
+    : optimizer_(optimizer),
+      factor_(factor),
+      patience_(patience),
+      minLr_(min_lr),
+      bestLoss_(std::numeric_limits<double>::infinity())
+{
+}
+
+void
+ReduceLROnPlateau::step(double val_loss)
+{
+    if (val_loss < bestLoss_ - 1e-7) {
+        bestLoss_ = val_loss;
+        badEpochs_ = 0;
+        return;
+    }
+    if (++badEpochs_ > patience_) {
+        optimizer_.setLearningRate(optimizer_.learningRate() * factor_);
+        badEpochs_ = 0;
+    }
+}
+
+bool
+ReduceLROnPlateau::shouldStop() const
+{
+    return optimizer_.learningRate() <= minLr_;
+}
+
+} // namespace nn
+} // namespace gnnperf

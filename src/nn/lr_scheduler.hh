@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ReduceLROnPlateau learning-rate schedule.
+ *
+ * The paper's graph-classification protocol (§IV-B): the learning rate
+ * is halved when the validation loss has not improved for `patience`
+ * epochs, and training stops once it decays to `min_lr` or less.
+ */
+
+#ifndef GNNPERF_NN_LR_SCHEDULER_HH
+#define GNNPERF_NN_LR_SCHEDULER_HH
+
+#include "nn/optimizer.hh"
+
+namespace gnnperf {
+namespace nn {
+
+/**
+ * Halve-on-plateau scheduler with a stopping signal.
+ */
+class ReduceLROnPlateau
+{
+  public:
+    /**
+     * @param optimizer optimizer whose learning rate is managed
+     * @param factor multiplicative decay (paper: 0.5)
+     * @param patience epochs without improvement before decaying
+     *        (paper: 25)
+     * @param min_lr stopping learning rate (paper: 1e-6)
+     */
+    ReduceLROnPlateau(Adam &optimizer, float factor = 0.5f,
+                      int patience = 25, float min_lr = 1e-6f);
+
+    /** Report a validation loss; decays the LR on plateau. */
+    void step(double val_loss);
+
+    /** True once the LR has decayed to min_lr or below. */
+    bool shouldStop() const;
+
+    int badEpochs() const { return badEpochs_; }
+    double bestLoss() const { return bestLoss_; }
+
+  private:
+    Adam &optimizer_;
+    float factor_;
+    int patience_;
+    float minLr_;
+    double bestLoss_;
+    int badEpochs_ = 0;
+};
+
+} // namespace nn
+} // namespace gnnperf
+
+#endif // GNNPERF_NN_LR_SCHEDULER_HH

@@ -1,0 +1,60 @@
+#include "nn/mlp.hh"
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace gnnperf {
+namespace nn {
+
+Mlp::Mlp(const std::vector<int64_t> &sizes, Activation act, Rng &rng)
+    : act_(act)
+{
+    gnnperf_assert(sizes.size() >= 2, "Mlp needs at least in+out sizes");
+    for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+        layers_.push_back(
+            std::make_unique<Linear>(sizes[i], sizes[i + 1], rng));
+        registerModule(strprintf("fc%zu", i), layers_.back().get());
+    }
+}
+
+Var
+Mlp::forward(const Var &x) const
+{
+    Var h = x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        h = layers_[i]->forward(h);
+        if (i + 1 < layers_.size())
+            h = applyActivation(act_, h);
+    }
+    return h;
+}
+
+MlpReadout::MlpReadout(int64_t in_features, int64_t num_classes,
+                       Rng &rng, int levels)
+{
+    gnnperf_assert(levels >= 0, "MlpReadout: negative levels");
+    int64_t width = in_features;
+    for (int i = 0; i < levels; ++i) {
+        int64_t next = std::max<int64_t>(width / 2, num_classes);
+        layers_.push_back(std::make_unique<Linear>(width, next, rng));
+        registerModule(strprintf("fc%d", i), layers_.back().get());
+        width = next;
+    }
+    layers_.push_back(std::make_unique<Linear>(width, num_classes, rng));
+    registerModule(strprintf("fc%d", levels), layers_.back().get());
+}
+
+Var
+MlpReadout::forward(const Var &x) const
+{
+    Var h = x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        h = layers_[i]->forward(h);
+        if (i + 1 < layers_.size())
+            h = applyActivation(Activation::ReLU, h);
+    }
+    return h;
+}
+
+} // namespace nn
+} // namespace gnnperf

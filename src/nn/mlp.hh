@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Multi-layer perceptrons.
+ *
+ * Two flavours are provided:
+ *  - Mlp: a generic stack of Linear+activation layers (used inside GIN's
+ *    update function and GraphSAGE's pool aggregator);
+ *  - MlpReadout: the graph classifier head of the Dwivedi benchmark the
+ *    paper follows — feature width halves per layer down to the class
+ *    count (paper §IV-B.4).
+ */
+
+#ifndef GNNPERF_NN_MLP_HH
+#define GNNPERF_NN_MLP_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/activation.hh"
+#include "nn/linear.hh"
+
+namespace gnnperf {
+namespace nn {
+
+/**
+ * Generic MLP: sizes = {in, h1, ..., out}; activation between layers
+ * (not after the last).
+ */
+class Mlp : public Module
+{
+  public:
+    Mlp(const std::vector<int64_t> &sizes, Activation act, Rng &rng);
+
+    Var forward(const Var &x) const;
+
+    std::size_t layerCount() const { return layers_.size(); }
+    const Linear &layer(std::size_t i) const { return *layers_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<Linear>> layers_;
+    Activation act_;
+};
+
+/**
+ * Graph classifier head: `levels` halvings then projection to classes,
+ * ReLU between layers.
+ */
+class MlpReadout : public Module
+{
+  public:
+    MlpReadout(int64_t in_features, int64_t num_classes, Rng &rng,
+               int levels = 2);
+
+    Var forward(const Var &x) const;
+
+  private:
+    std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+} // namespace nn
+} // namespace gnnperf
+
+#endif // GNNPERF_NN_MLP_HH

@@ -1,0 +1,119 @@
+#include "nn/module.hh"
+
+#include "common/logging.hh"
+
+namespace gnnperf {
+namespace nn {
+
+std::vector<Var>
+Module::parameters() const
+{
+    std::vector<NamedParameter> named;
+    collect("", named);
+    std::vector<Var> out;
+    out.reserve(named.size());
+    for (auto &np : named)
+        out.push_back(np.var);
+    return out;
+}
+
+std::vector<NamedParameter>
+Module::namedParameters() const
+{
+    std::vector<NamedParameter> named;
+    collect("", named);
+    return named;
+}
+
+int64_t
+Module::parameterCount() const
+{
+    int64_t n = 0;
+    for (const auto &p : parameters())
+        n += p.numel();
+    return n;
+}
+
+double
+Module::parameterBytes() const
+{
+    return static_cast<double>(parameterCount()) * sizeof(float);
+}
+
+void
+Module::train(bool mode)
+{
+    training_ = mode;
+    for (auto &[name, child] : children_)
+        child->train(mode);
+}
+
+void
+Module::zeroGrad()
+{
+    for (auto &p : parameters())
+        p.zeroGrad();
+}
+
+Var
+Module::registerParameter(std::string name, Tensor value)
+{
+    Var v(std::move(value), /*requires_grad=*/true);
+    params_.push_back(NamedParameter{std::move(name), v});
+    return v;
+}
+
+void
+Module::registerModule(std::string name, Module *child)
+{
+    gnnperf_assert(child != nullptr, "registerModule(nullptr)");
+    gnnperf_assert(child != this, "registerModule(this)");
+    children_.emplace_back(std::move(name), child);
+}
+
+void
+Module::registerBuffer(std::string name, Tensor *tensor)
+{
+    gnnperf_assert(tensor != nullptr, "registerBuffer(nullptr)");
+    buffers_.push_back(NamedBuffer{std::move(name), tensor});
+}
+
+std::vector<NamedBuffer>
+Module::namedBuffers() const
+{
+    std::vector<NamedBuffer> out;
+    collectBuffers("", out);
+    return out;
+}
+
+void
+Module::collectBuffers(const std::string &prefix,
+                       std::vector<NamedBuffer> &out) const
+{
+    for (const auto &nb : buffers_) {
+        out.push_back(NamedBuffer{
+            prefix.empty() ? nb.name : prefix + "." + nb.name,
+            nb.tensor});
+    }
+    for (const auto &[name, child] : children_) {
+        child->collectBuffers(prefix.empty() ? name
+                                             : prefix + "." + name,
+                              out);
+    }
+}
+
+void
+Module::collect(const std::string &prefix,
+                std::vector<NamedParameter> &out) const
+{
+    for (const auto &np : params_) {
+        out.push_back(NamedParameter{
+            prefix.empty() ? np.name : prefix + "." + np.name, np.var});
+    }
+    for (const auto &[name, child] : children_) {
+        child->collect(prefix.empty() ? name : prefix + "." + name, out);
+    }
+}
+
+} // namespace nn
+} // namespace gnnperf

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Base class for neural network modules.
+ *
+ * Mirrors torch.nn.Module at the granularity the workloads need:
+ * parameter registration with recursive collection, train/eval mode,
+ * and gradient zeroing. Modules are owned by their parents via
+ * unique_ptr or as direct members; registerModule() stores a non-owning
+ * pointer for traversal only.
+ */
+
+#ifndef GNNPERF_NN_MODULE_HH
+#define GNNPERF_NN_MODULE_HH
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hh"
+
+namespace gnnperf {
+namespace nn {
+
+/** A named trainable parameter. */
+struct NamedParameter
+{
+    std::string name;
+    Var var;
+};
+
+/** A named non-trainable buffer (e.g. batch-norm running stats). */
+struct NamedBuffer
+{
+    std::string name;
+    Tensor *tensor;
+};
+
+/**
+ * Base class for all NN modules.
+ */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    Module() = default;
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** All trainable parameters, including those of submodules. */
+    std::vector<Var> parameters() const;
+
+    /** All parameters with hierarchical names ("conv1.weight", ...). */
+    std::vector<NamedParameter> namedParameters() const;
+
+    /** All non-trainable buffers with hierarchical names. */
+    std::vector<NamedBuffer> namedBuffers() const;
+
+    /** Total scalar parameter count. */
+    int64_t parameterCount() const;
+
+    /** Total parameter bytes (for the DataParallel transfer model). */
+    double parameterBytes() const;
+
+    /** Set train/eval mode recursively. */
+    void train(bool mode = true);
+    bool training() const { return training_; }
+
+    /** Zero all parameter gradients. */
+    void zeroGrad();
+
+  protected:
+    /** Register a trainable parameter (requiresGrad is forced on). */
+    Var registerParameter(std::string name, Tensor value);
+
+    /** Register a child module for recursive traversal (non-owning). */
+    void registerModule(std::string name, Module *child);
+
+    /**
+     * Register a persistent non-trainable buffer. The tensor must be
+     * a member of this module (the pointer is stored for state
+     * save/restore).
+     */
+    void registerBuffer(std::string name, Tensor *tensor);
+
+  private:
+    std::vector<NamedParameter> params_;
+    std::vector<NamedBuffer> buffers_;
+    std::vector<std::pair<std::string, Module *>> children_;
+    bool training_ = true;
+
+    void collect(const std::string &prefix,
+                 std::vector<NamedParameter> &out) const;
+    void collectBuffers(const std::string &prefix,
+                        std::vector<NamedBuffer> &out) const;
+};
+
+} // namespace nn
+} // namespace gnnperf
+
+#endif // GNNPERF_NN_MODULE_HH

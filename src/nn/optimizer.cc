@@ -1,0 +1,69 @@
+#include "nn/optimizer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+namespace nn {
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weightDecay_(weight_decay)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto &p : params_) {
+        m_.push_back(Tensor::zeros(p.value().shape(),
+                                   p.value().device()));
+        v_.push_back(Tensor::zeros(p.value().shape(),
+                                   p.value().device()));
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        if (!params_[i].hasGrad())
+            continue;
+        Tensor &value = params_[i].valueMutable();
+        const Tensor &grad = params_[i].grad();
+        float *pv = value.data();
+        const float *pg = grad.data();
+        float *pm = m_[i].data();
+        float *ps = v_[i].data();
+        const int64_t numel = value.numel();
+        for (int64_t j = 0; j < numel; ++j) {
+            float g = pg[j];
+            if (weightDecay_ != 0.0f)
+                g += weightDecay_ * pv[j];
+            pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * g;
+            ps[j] = beta2_ * ps[j] + (1.0f - beta2_) * g * g;
+            const float mhat = pm[j] / bc1;
+            const float vhat = ps[j] / bc2;
+            pv[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+        recordKernel("adam_update", 10.0 * static_cast<double>(numel),
+                     4.0 * static_cast<double>(value.bytes()));
+    }
+}
+
+void
+Adam::zeroGrad()
+{
+    for (auto &p : params_)
+        p.zeroGrad();
+}
+
+} // namespace nn
+} // namespace gnnperf

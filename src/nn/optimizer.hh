@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Adam optimizer (Kingma & Ba, 2015) — the paper uses Adam for every
+ * experiment (§III-C). The step emits per-parameter "adam_update"
+ * kernel records, which populate the Update slice of the epoch-time
+ * breakdown (paper Figs. 1/2).
+ */
+
+#ifndef GNNPERF_NN_OPTIMIZER_HH
+#define GNNPERF_NN_OPTIMIZER_HH
+
+#include <vector>
+
+#include "autograd/variable.hh"
+
+namespace gnnperf {
+namespace nn {
+
+/**
+ * Adam with optional decoupled weight decay.
+ */
+class Adam
+{
+  public:
+    /**
+     * @param params parameters to optimise (state is per-parameter)
+     * @param lr learning rate
+     * @param beta1 first-moment decay
+     * @param beta2 second-moment decay
+     * @param eps denominator stabiliser
+     * @param weight_decay L2 coefficient (0 = off)
+     */
+    explicit Adam(std::vector<Var> params, float lr = 1e-3f,
+                  float beta1 = 0.9f, float beta2 = 0.999f,
+                  float eps = 1e-8f, float weight_decay = 0.0f);
+
+    /** Apply one update from the parameters' current gradients. */
+    void step();
+
+    /** Clear all parameter gradients. */
+    void zeroGrad();
+
+    float learningRate() const { return lr_; }
+    void setLearningRate(float lr) { lr_ = lr; }
+
+    int64_t stepCount() const { return t_; }
+
+  private:
+    std::vector<Var> params_;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+    float lr_;
+    float beta1_;
+    float beta2_;
+    float eps_;
+    float weightDecay_;
+    int64_t t_ = 0;
+};
+
+} // namespace nn
+} // namespace gnnperf
+
+#endif // GNNPERF_NN_OPTIMIZER_HH

@@ -1,0 +1,173 @@
+#include "nn/serialize.hh"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace gnnperf {
+namespace nn {
+
+namespace {
+
+void
+appendRaw(std::string &out, const void *data, std::size_t size)
+{
+    out.append(static_cast<const char *>(data), size);
+}
+
+template <typename T>
+void
+appendValue(std::string &out, T value)
+{
+    appendRaw(out, &value, sizeof(T));
+}
+
+template <typename T>
+T
+readValue(const std::string &in, std::size_t &cursor)
+{
+    gnnperf_assert(cursor + sizeof(T) <= in.size(),
+                   "checkpoint truncated");
+    T value;
+    std::memcpy(&value, in.data() + cursor, sizeof(T));
+    cursor += sizeof(T);
+    return value;
+}
+
+void
+appendEntry(std::string &out, const std::string &name,
+            const Tensor &tensor)
+{
+    appendValue<uint32_t>(out, static_cast<uint32_t>(name.size()));
+    appendRaw(out, name.data(), name.size());
+    appendValue<uint32_t>(out, static_cast<uint32_t>(tensor.rank()));
+    for (int64_t d = 0; d < tensor.rank(); ++d)
+        appendValue<int64_t>(out, tensor.dim(d));
+    appendRaw(out, tensor.data(), tensor.bytes());
+}
+
+struct Entry
+{
+    std::vector<int64_t> shape;
+    std::vector<float> data;
+};
+
+std::map<std::string, Entry>
+parseEntries(const std::string &bytes)
+{
+    std::size_t cursor = 0;
+    gnnperf_assert(bytes.size() >= 4 &&
+                   std::memcmp(bytes.data(), "GNNP", 4) == 0,
+                   "not a gnnperf checkpoint");
+    cursor = 4;
+    const auto version = readValue<uint32_t>(bytes, cursor);
+    gnnperf_assert(version == kCheckpointVersion,
+                   "unsupported checkpoint version ", version);
+    const auto count = readValue<uint64_t>(bytes, cursor);
+    std::map<std::string, Entry> entries;
+    for (uint64_t i = 0; i < count; ++i) {
+        const auto name_len = readValue<uint32_t>(bytes, cursor);
+        gnnperf_assert(cursor + name_len <= bytes.size(),
+                       "checkpoint truncated");
+        std::string name(bytes.data() + cursor, name_len);
+        cursor += name_len;
+        const auto rank = readValue<uint32_t>(bytes, cursor);
+        Entry entry;
+        int64_t numel = 1;
+        for (uint32_t d = 0; d < rank; ++d) {
+            entry.shape.push_back(readValue<int64_t>(bytes, cursor));
+            numel *= entry.shape.back();
+        }
+        entry.data.resize(static_cast<std::size_t>(numel));
+        gnnperf_assert(cursor + entry.data.size() * sizeof(float) <=
+                       bytes.size(), "checkpoint truncated");
+        std::memcpy(entry.data.data(), bytes.data() + cursor,
+                    entry.data.size() * sizeof(float));
+        cursor += entry.data.size() * sizeof(float);
+        gnnperf_assert(entries.emplace(name, std::move(entry)).second,
+                       "duplicate checkpoint entry ", name);
+    }
+    return entries;
+}
+
+void
+restoreTensor(Tensor &tensor, const std::string &name,
+              const Entry &entry)
+{
+    gnnperf_assert(tensor.shape() == entry.shape,
+                   "checkpoint shape mismatch for ", name);
+    std::memcpy(tensor.data(), entry.data.data(),
+                entry.data.size() * sizeof(float));
+}
+
+} // namespace
+
+std::string
+serializeModule(const Module &module)
+{
+    auto params = module.namedParameters();
+    auto buffers = module.namedBuffers();
+
+    std::string out;
+    appendRaw(out, "GNNP", 4);
+    appendValue<uint32_t>(out, kCheckpointVersion);
+    appendValue<uint64_t>(out, params.size() + buffers.size());
+    for (const auto &np : params)
+        appendEntry(out, "param:" + np.name, np.var.value());
+    for (const auto &nb : buffers)
+        appendEntry(out, "buffer:" + nb.name, *nb.tensor);
+    return out;
+}
+
+void
+deserializeModule(Module &module, const std::string &bytes)
+{
+    auto entries = parseEntries(bytes);
+    auto params = module.namedParameters();
+    auto buffers = module.namedBuffers();
+    gnnperf_assert(entries.size() == params.size() + buffers.size(),
+                   "checkpoint has ", entries.size(),
+                   " entries, module expects ",
+                   params.size() + buffers.size());
+    for (auto &np : params) {
+        auto it = entries.find("param:" + np.name);
+        gnnperf_assert(it != entries.end(),
+                       "checkpoint missing parameter ", np.name);
+        restoreTensor(np.var.valueMutable(), np.name, it->second);
+    }
+    for (auto &nb : buffers) {
+        auto it = entries.find("buffer:" + nb.name);
+        gnnperf_assert(it != entries.end(),
+                       "checkpoint missing buffer ", nb.name);
+        restoreTensor(*nb.tensor, nb.name, it->second);
+    }
+}
+
+void
+saveCheckpoint(const Module &module, const std::string &path)
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        gnnperf_fatal("cannot open ", path, " for writing");
+    const std::string bytes = serializeModule(module);
+    file.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!file)
+        gnnperf_fatal("write to ", path, " failed");
+}
+
+void
+loadCheckpoint(Module &module, const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        gnnperf_fatal("cannot open ", path);
+    std::string bytes((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+    deserializeModule(module, bytes);
+}
+
+} // namespace nn
+} // namespace gnnperf

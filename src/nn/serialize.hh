@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Model checkpointing: save/restore a module's parameters and
+ * persistent buffers (batch-norm running statistics) to a simple
+ * versioned binary format.
+ *
+ * Format (little-endian):
+ *   magic "GNNP" | u32 version | u64 entry count |
+ *   per entry: u32 name length | name bytes | u32 rank |
+ *              i64 dims[rank] | f32 data[numel]
+ *
+ * Entries are looked up by hierarchical name on load; a checkpoint
+ * must match the module exactly (same entries, same shapes) — a
+ * mismatch is a user error and fatal.
+ */
+
+#ifndef GNNPERF_NN_SERIALIZE_HH
+#define GNNPERF_NN_SERIALIZE_HH
+
+#include <string>
+
+#include "nn/module.hh"
+
+namespace gnnperf {
+namespace nn {
+
+/** Checkpoint format version written by saveCheckpoint. */
+constexpr uint32_t kCheckpointVersion = 1;
+
+/** Serialise parameters + buffers to a byte string. */
+std::string serializeModule(const Module &module);
+
+/** Restore parameters + buffers from a byte string. */
+void deserializeModule(Module &module, const std::string &bytes);
+
+/** Save to / load from a file. */
+void saveCheckpoint(const Module &module, const std::string &path);
+void loadCheckpoint(Module &module, const std::string &path);
+
+} // namespace nn
+} // namespace gnnperf
+
+#endif // GNNPERF_NN_SERIALIZE_HH

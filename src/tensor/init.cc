@@ -1,0 +1,44 @@
+#include "tensor/init.hh"
+
+#include <cmath>
+
+namespace gnnperf {
+namespace init {
+
+Tensor
+glorotUniform(int64_t fan_in, int64_t fan_out, Rng &rng)
+{
+    const float bound = std::sqrt(6.0f / static_cast<float>(fan_in +
+                                                            fan_out));
+    return uniform({fan_in, fan_out}, bound, rng);
+}
+
+Tensor
+kaimingUniform(int64_t fan_in, int64_t fan_out, Rng &rng)
+{
+    const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+    return uniform({fan_in, fan_out}, bound, rng);
+}
+
+Tensor
+uniform(std::vector<int64_t> shape, float bound, Rng &rng)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = static_cast<float>(rng.uniform(-bound, bound));
+    return t;
+}
+
+Tensor
+normal(std::vector<int64_t> shape, float mean, float stddev, Rng &rng)
+{
+    Tensor t(std::move(shape));
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = static_cast<float>(rng.normal(mean, stddev));
+    return t;
+}
+
+} // namespace init
+} // namespace gnnperf

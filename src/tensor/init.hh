@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Weight initialisers. All draw from a caller-supplied Rng so whole
+ * experiments are reproducible from one seed (paper §III-C requires
+ * "same initialization" across frameworks — we satisfy it by seeding
+ * both frameworks' models identically).
+ */
+
+#ifndef GNNPERF_TENSOR_INIT_HH
+#define GNNPERF_TENSOR_INIT_HH
+
+#include "common/random.hh"
+#include "tensor/tensor.hh"
+
+namespace gnnperf {
+namespace init {
+
+/** Glorot/Xavier uniform for a [fan_in, fan_out] matrix. */
+Tensor glorotUniform(int64_t fan_in, int64_t fan_out, Rng &rng);
+
+/** Kaiming/He uniform (ReLU gain) for a [fan_in, fan_out] matrix. */
+Tensor kaimingUniform(int64_t fan_in, int64_t fan_out, Rng &rng);
+
+/** Uniform in [-bound, bound] of any shape. */
+Tensor uniform(std::vector<int64_t> shape, float bound, Rng &rng);
+
+/** Normal(mean, std) of any shape. */
+Tensor normal(std::vector<int64_t> shape, float mean, float stddev,
+              Rng &rng);
+
+} // namespace init
+} // namespace gnnperf
+
+#endif // GNNPERF_TENSOR_INIT_HH

@@ -1,0 +1,104 @@
+#include "tensor/matmul.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+namespace ops {
+
+namespace {
+
+void
+recordGemm(const char *name, int64_t n, int64_t k, int64_t m)
+{
+    recordKernel(name, 2.0 * static_cast<double>(n) * k * m,
+                 static_cast<double>(n * k + k * m + n * m) *
+                     sizeof(float));
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    gnnperf_assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(0),
+                   "matmul: ", a.describe(), " x ", b.describe());
+    const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+    Tensor c = Tensor::zeros({n, m}, a.device());
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int64_t i = 0; i < n; ++i) {
+        float *crow = pc + i * m;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float aik = pa[i * k + kk];
+            if (aik == 0.0f)
+                continue;
+            const float *brow = pb + kk * m;
+            for (int64_t j = 0; j < m; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    recordGemm("sgemm", n, k, m);
+    return c;
+}
+
+Tensor
+matmulTransA(const Tensor &a, const Tensor &b)
+{
+    gnnperf_assert(a.rank() == 2 && b.rank() == 2 && a.dim(0) == b.dim(0),
+                   "matmulTransA: ", a.describe(), "^T x ", b.describe());
+    const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+    Tensor c = Tensor::zeros({k, m}, a.device());
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    // C[kk, j] = sum_i A[i, kk] * B[i, j]: accumulate row-wise so the
+    // inner loop stays unit-stride on both B and C.
+    for (int64_t i = 0; i < n; ++i) {
+        const float *arow = pa + i * k;
+        const float *brow = pb + i * m;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float aik = arow[kk];
+            if (aik == 0.0f)
+                continue;
+            float *crow = pc + kk * m;
+            for (int64_t j = 0; j < m; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    recordGemm("sgemm_tn", k, n, m);
+    return c;
+}
+
+Tensor
+matmulTransB(const Tensor &a, const Tensor &b)
+{
+    gnnperf_assert(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1),
+                   "matmulTransB: ", a.describe(), " x ", b.describe(),
+                   "^T");
+    const int64_t n = a.dim(0), m = a.dim(1), k = b.dim(0);
+    Tensor c = Tensor::zeros({n, k}, a.device());
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    // C[i, kk] = dot(A[i, :], B[kk, :]) — both unit stride.
+    for (int64_t i = 0; i < n; ++i) {
+        const float *arow = pa + i * m;
+        float *crow = pc + i * k;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float *brow = pb + kk * m;
+            float s = 0.0f;
+            for (int64_t j = 0; j < m; ++j)
+                s += arow[j] * brow[j];
+            crow[kk] = s;
+        }
+    }
+    recordGemm("sgemm_nt", n, m, k);
+    return c;
+}
+
+} // namespace ops
+} // namespace gnnperf

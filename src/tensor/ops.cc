@@ -1,0 +1,600 @@
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+namespace ops {
+
+namespace {
+
+/** Emit a kernel record for an elementwise op over n elements. */
+void
+recordElementwise(const char *name, int64_t n, double flops_per_elem,
+                  double tensors_touched)
+{
+    recordKernel(name, flops_per_elem * static_cast<double>(n),
+                 tensors_touched * static_cast<double>(n) *
+                     sizeof(float));
+}
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *op)
+{
+    gnnperf_assert(a.sameShape(b), op, ": shape mismatch ",
+                   a.describe(), " vs ", b.describe());
+}
+
+template <typename F>
+Tensor
+binaryOp(const Tensor &a, const Tensor &b, const char *name, F f)
+{
+    checkSameShape(a, b, name);
+    Tensor out(a.shape(), a.device());
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] = f(pa[i], pb[i]);
+    recordElementwise(name, n, 1.0, 3.0);
+    return out;
+}
+
+template <typename F>
+Tensor
+unaryOp(const Tensor &a, const char *name, F f, double flops = 1.0)
+{
+    Tensor out(a.shape(), a.device());
+    const float *pa = a.data();
+    float *po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        po[i] = f(pa[i]);
+    recordElementwise(name, n, flops, 2.0);
+    return out;
+}
+
+} // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, "add", [](float x, float y) { return x + y; });
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, "sub", [](float x, float y) { return x - y; });
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, "mul", [](float x, float y) { return x * y; });
+}
+
+Tensor
+div(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+Tensor
+addRows(const Tensor &a, const Tensor &b)
+{
+    gnnperf_assert(a.rank() == 2 && b.rank() == 1 &&
+                   a.dim(1) == b.dim(0),
+                   "addRows: ", a.describe(), " + ", b.describe());
+    Tensor out(a.shape(), a.device());
+    const int64_t n = a.dim(0), f = a.dim(1);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < f; ++j)
+            po[i * f + j] = pa[i * f + j] + pb[j];
+    recordElementwise("add_bias", n * f, 1.0, 2.0);
+    return out;
+}
+
+Tensor
+mulCols(const Tensor &a, const Tensor &b)
+{
+    gnnperf_assert(a.rank() == 2 && b.rank() == 1 &&
+                   a.dim(0) == b.dim(0),
+                   "mulCols: ", a.describe(), " * ", b.describe());
+    Tensor out(a.shape(), a.device());
+    const int64_t n = a.dim(0), f = a.dim(1);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        const float s = pb[i];
+        for (int64_t j = 0; j < f; ++j)
+            po[i * f + j] = pa[i * f + j] * s;
+    }
+    recordElementwise("mul_cols", n * f, 1.0, 2.0);
+    return out;
+}
+
+Tensor
+divCols(const Tensor &a, const Tensor &b)
+{
+    gnnperf_assert(a.rank() == 2 && b.rank() == 1 &&
+                   a.dim(0) == b.dim(0),
+                   "divCols: ", a.describe(), " / ", b.describe());
+    Tensor out(a.shape(), a.device());
+    const int64_t n = a.dim(0), f = a.dim(1);
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        const float s = 1.0f / pb[i];
+        for (int64_t j = 0; j < f; ++j)
+            po[i * f + j] = pa[i * f + j] * s;
+    }
+    recordElementwise("div_cols", n * f, 1.0, 2.0);
+    return out;
+}
+
+void
+addInPlace(Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "add_");
+    float *pa = a.data();
+    const float *pb = b.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pa[i] += pb[i];
+    recordElementwise("add_", n, 1.0, 3.0);
+}
+
+void
+addScaledInPlace(Tensor &a, const Tensor &b, float s)
+{
+    checkSameShape(a, b, "axpy_");
+    float *pa = a.data();
+    const float *pb = b.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i)
+        pa[i] += s * pb[i];
+    recordElementwise("axpy_", n, 2.0, 3.0);
+}
+
+Tensor
+scale(const Tensor &a, float s)
+{
+    return unaryOp(a, "scale", [s](float x) { return s * x; });
+}
+
+Tensor
+addScalar(const Tensor &a, float s)
+{
+    return unaryOp(a, "add_scalar", [s](float x) { return x + s; });
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    return unaryOp(a, "relu",
+                   [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor
+sigmoid(const Tensor &a)
+{
+    return unaryOp(a, "sigmoid",
+                   [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+                   4.0);
+}
+
+Tensor
+tanhT(const Tensor &a)
+{
+    return unaryOp(a, "tanh", [](float x) { return std::tanh(x); }, 4.0);
+}
+
+Tensor
+elu(const Tensor &a, float alpha)
+{
+    return unaryOp(a, "elu", [alpha](float x) {
+        return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f);
+    }, 3.0);
+}
+
+Tensor
+leakyRelu(const Tensor &a, float slope)
+{
+    return unaryOp(a, "leaky_relu", [slope](float x) {
+        return x > 0.0f ? x : slope * x;
+    });
+}
+
+Tensor
+expT(const Tensor &a)
+{
+    return unaryOp(a, "exp", [](float x) { return std::exp(x); }, 4.0);
+}
+
+Tensor
+logT(const Tensor &a)
+{
+    return unaryOp(a, "log", [](float x) { return std::log(x); }, 4.0);
+}
+
+Tensor
+sqrtT(const Tensor &a)
+{
+    return unaryOp(a, "sqrt", [](float x) { return std::sqrt(x); }, 2.0);
+}
+
+Tensor
+square(const Tensor &a)
+{
+    return unaryOp(a, "square", [](float x) { return x * x; });
+}
+
+Tensor
+reciprocal(const Tensor &a, float eps)
+{
+    return unaryOp(a, "reciprocal",
+                   [eps](float x) { return 1.0f / (x + eps); }, 2.0);
+}
+
+Tensor
+sumRows(const Tensor &a)
+{
+    gnnperf_assert(a.rank() == 2, "sumRows on rank ", a.rank());
+    const int64_t n = a.dim(0), f = a.dim(1);
+    Tensor out = Tensor::zeros({f}, a.device());
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < f; ++j)
+            po[j] += pa[i * f + j];
+    recordKernel("col_sum", static_cast<double>(n * f),
+                 static_cast<double>((n * f + f) * sizeof(float)));
+    return out;
+}
+
+Tensor
+meanRows(const Tensor &a)
+{
+    Tensor s = sumRows(a);
+    const float inv = a.dim(0) > 0 ? 1.0f / a.dim(0) : 0.0f;
+    float *p = s.data();
+    for (int64_t j = 0; j < s.numel(); ++j)
+        p[j] *= inv;
+    return s;
+}
+
+Tensor
+varRows(const Tensor &a, const Tensor &mean)
+{
+    gnnperf_assert(a.rank() == 2 && mean.rank() == 1 &&
+                   a.dim(1) == mean.dim(0), "varRows: shape mismatch");
+    const int64_t n = a.dim(0), f = a.dim(1);
+    Tensor out = Tensor::zeros({f}, a.device());
+    const float *pa = a.data();
+    const float *pm = mean.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < f; ++j) {
+            float d = pa[i * f + j] - pm[j];
+            po[j] += d * d;
+        }
+    }
+    const float inv = n > 0 ? 1.0f / n : 0.0f;
+    for (int64_t j = 0; j < f; ++j)
+        po[j] *= inv;
+    recordKernel("col_var", 3.0 * static_cast<double>(n * f),
+                 static_cast<double>((n * f + 2 * f) * sizeof(float)));
+    return out;
+}
+
+Tensor
+sumCols(const Tensor &a)
+{
+    gnnperf_assert(a.rank() == 2, "sumCols on rank ", a.rank());
+    const int64_t n = a.dim(0), f = a.dim(1);
+    Tensor out = Tensor::zeros({n}, a.device());
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        float s = 0.0f;
+        for (int64_t j = 0; j < f; ++j)
+            s += pa[i * f + j];
+        po[i] = s;
+    }
+    recordKernel("row_sum", static_cast<double>(n * f),
+                 static_cast<double>((n * f + n) * sizeof(float)));
+    return out;
+}
+
+Tensor
+sumAll(const Tensor &a)
+{
+    const float *pa = a.data();
+    double s = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i)
+        s += pa[i];
+    recordKernel("sum_all", static_cast<double>(a.numel()),
+                 static_cast<double>(a.bytes()));
+    return Tensor::scalar(static_cast<float>(s), a.device());
+}
+
+Tensor
+meanAll(const Tensor &a)
+{
+    Tensor s = sumAll(a);
+    if (a.numel() > 0)
+        s.set(0, s.at(0) / static_cast<float>(a.numel()));
+    return s;
+}
+
+std::vector<int64_t>
+argmaxRows(const Tensor &a)
+{
+    gnnperf_assert(a.rank() == 2, "argmaxRows on rank ", a.rank());
+    const int64_t n = a.dim(0), f = a.dim(1);
+    std::vector<int64_t> out(static_cast<std::size_t>(n));
+    const float *pa = a.data();
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t best = 0;
+        float bestv = pa[i * f];
+        for (int64_t j = 1; j < f; ++j) {
+            if (pa[i * f + j] > bestv) {
+                bestv = pa[i * f + j];
+                best = j;
+            }
+        }
+        out[static_cast<std::size_t>(i)] = best;
+    }
+    recordKernel("argmax", static_cast<double>(n * f),
+                 static_cast<double>(a.bytes()));
+    return out;
+}
+
+Tensor
+softmaxRows(const Tensor &a)
+{
+    gnnperf_assert(a.rank() == 2, "softmaxRows on rank ", a.rank());
+    const int64_t n = a.dim(0), f = a.dim(1);
+    Tensor out(a.shape(), a.device());
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        float mx = pa[i * f];
+        for (int64_t j = 1; j < f; ++j)
+            mx = std::max(mx, pa[i * f + j]);
+        float denom = 0.0f;
+        for (int64_t j = 0; j < f; ++j) {
+            float e = std::exp(pa[i * f + j] - mx);
+            po[i * f + j] = e;
+            denom += e;
+        }
+        const float inv = 1.0f / denom;
+        for (int64_t j = 0; j < f; ++j)
+            po[i * f + j] *= inv;
+    }
+    recordKernel("softmax", 5.0 * static_cast<double>(n * f),
+                 2.0 * static_cast<double>(a.bytes()));
+    return out;
+}
+
+Tensor
+logSoftmaxRows(const Tensor &a)
+{
+    gnnperf_assert(a.rank() == 2, "logSoftmaxRows on rank ", a.rank());
+    const int64_t n = a.dim(0), f = a.dim(1);
+    Tensor out(a.shape(), a.device());
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        float mx = pa[i * f];
+        for (int64_t j = 1; j < f; ++j)
+            mx = std::max(mx, pa[i * f + j]);
+        float denom = 0.0f;
+        for (int64_t j = 0; j < f; ++j)
+            denom += std::exp(pa[i * f + j] - mx);
+        const float lse = std::log(denom) + mx;
+        for (int64_t j = 0; j < f; ++j)
+            po[i * f + j] = pa[i * f + j] - lse;
+    }
+    recordKernel("log_softmax", 5.0 * static_cast<double>(n * f),
+                 2.0 * static_cast<double>(a.bytes()));
+    return out;
+}
+
+Tensor
+concatCols(const Tensor &a, const Tensor &b)
+{
+    gnnperf_assert(a.rank() == 2 && b.rank() == 2 &&
+                   a.dim(0) == b.dim(0),
+                   "concatCols: ", a.describe(), " ++ ", b.describe());
+    const int64_t n = a.dim(0), fa = a.dim(1), fb = b.dim(1);
+    Tensor out({n, fa + fb}, a.device());
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        std::memcpy(po + i * (fa + fb), pa + i * fa,
+                    static_cast<std::size_t>(fa) * sizeof(float));
+        std::memcpy(po + i * (fa + fb) + fa, pb + i * fb,
+                    static_cast<std::size_t>(fb) * sizeof(float));
+    }
+    recordKernel("concat", 0.0,
+                 2.0 * static_cast<double>(out.bytes()));
+    return out;
+}
+
+Tensor
+sliceCols(const Tensor &a, int64_t begin, int64_t end)
+{
+    gnnperf_assert(a.rank() == 2 && begin >= 0 && end <= a.dim(1) &&
+                   begin <= end, "sliceCols: bad range [", begin, ",",
+                   end, ") of ", a.describe());
+    const int64_t n = a.dim(0), f = a.dim(1), w = end - begin;
+    Tensor out({n, w}, a.device());
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i)
+        std::memcpy(po + i * w, pa + i * f + begin,
+                    static_cast<std::size_t>(w) * sizeof(float));
+    recordKernel("slice_cols", 0.0,
+                 2.0 * static_cast<double>(out.bytes()));
+    return out;
+}
+
+Tensor
+sliceRows(const Tensor &a, int64_t begin, int64_t end)
+{
+    gnnperf_assert(a.rank() == 2 && begin >= 0 && end <= a.dim(0) &&
+                   begin <= end, "sliceRows: bad range");
+    const int64_t f = a.dim(1), h = end - begin;
+    Tensor out({h, f}, a.device());
+    std::memcpy(out.data(), a.data() + begin * f,
+                static_cast<std::size_t>(h * f) * sizeof(float));
+    recordKernel("slice_rows", 0.0,
+                 2.0 * static_cast<double>(out.bytes()));
+    return out;
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    gnnperf_assert(a.rank() == 2, "transpose on rank ", a.rank());
+    const int64_t n = a.dim(0), f = a.dim(1);
+    Tensor out({f, n}, a.device());
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < f; ++j)
+            po[j * n + i] = pa[i * f + j];
+    recordKernel("transpose", 0.0,
+                 2.0 * static_cast<double>(a.bytes()));
+    return out;
+}
+
+Tensor
+gatherRows(const Tensor &a, const std::vector<int64_t> &idx)
+{
+    gnnperf_assert(a.rank() == 2, "gatherRows on rank ", a.rank());
+    const int64_t f = a.dim(1);
+    const int64_t e = static_cast<int64_t>(idx.size());
+    Tensor out({e, f}, a.device());
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < e; ++i) {
+        const int64_t r = idx[static_cast<std::size_t>(i)];
+        gnnperf_assert(r >= 0 && r < a.dim(0), "gatherRows: index ", r,
+                       " out of ", a.dim(0));
+        std::memcpy(po + i * f, pa + r * f,
+                    static_cast<std::size_t>(f) * sizeof(float));
+    }
+    recordKernel("gather_rows", 0.0,
+                 2.0 * static_cast<double>(out.bytes()));
+    return out;
+}
+
+Tensor
+scatterAddRows(const Tensor &src, const std::vector<int64_t> &idx,
+               int64_t num_rows)
+{
+    gnnperf_assert(src.rank() == 2, "scatterAddRows on rank ",
+                   src.rank());
+    gnnperf_assert(static_cast<int64_t>(idx.size()) == src.dim(0),
+                   "scatterAddRows: ", idx.size(), " indices for ",
+                   src.dim(0), " rows");
+    const int64_t f = src.dim(1);
+    Tensor out = Tensor::zeros({num_rows, f}, src.device());
+    const float *ps = src.data();
+    float *po = out.data();
+    for (std::size_t e = 0; e < idx.size(); ++e) {
+        const int64_t r = idx[e];
+        gnnperf_assert(r >= 0 && r < num_rows, "scatterAddRows: index ",
+                       r, " out of ", num_rows);
+        const float *row = ps + static_cast<int64_t>(e) * f;
+        float *dst = po + r * f;
+        for (int64_t j = 0; j < f; ++j)
+            dst[j] += row[j];
+    }
+    recordKernel("scatter_add", static_cast<double>(src.numel()),
+                 2.0 * static_cast<double>(src.bytes()) +
+                     static_cast<double>(out.bytes()));
+    return out;
+}
+
+Tensor
+rowNorms(const Tensor &a, float eps)
+{
+    gnnperf_assert(a.rank() == 2, "rowNorms on rank ", a.rank());
+    const int64_t n = a.dim(0), f = a.dim(1);
+    Tensor out({n}, a.device());
+    const float *pa = a.data();
+    float *po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+        float s = 0.0f;
+        for (int64_t j = 0; j < f; ++j)
+            s += pa[i * f + j] * pa[i * f + j];
+        po[i] = std::sqrt(s + eps);
+    }
+    recordKernel("row_norm", 2.0 * static_cast<double>(n * f),
+                 static_cast<double>(a.bytes()));
+    return out;
+}
+
+Tensor
+l2NormalizeRows(const Tensor &a, float eps)
+{
+    Tensor norms = rowNorms(a, eps);
+    return divCols(a, norms);
+}
+
+Tensor
+maximum(const Tensor &a, const Tensor &b)
+{
+    return binaryOp(a, b, "maximum",
+                    [](float x, float y) { return x > y ? x : y; });
+}
+
+Tensor
+dropout(const Tensor &a, float p, Tensor &mask, uint64_t seed)
+{
+    gnnperf_assert(p >= 0.0f && p < 1.0f, "dropout: bad p=", p);
+    mask = Tensor(a.shape(), a.device());
+    Tensor out(a.shape(), a.device());
+    Rng rng(seed);
+    const float scale = 1.0f / (1.0f - p);
+    const float *pa = a.data();
+    float *pm = mask.data();
+    float *po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) {
+        const float keep = rng.uniform() >= p ? scale : 0.0f;
+        pm[i] = keep;
+        po[i] = pa[i] * keep;
+    }
+    recordElementwise("dropout", n, 2.0, 3.0);
+    return out;
+}
+
+bool
+allFinite(const Tensor &a)
+{
+    const float *pa = a.data();
+    for (int64_t i = 0; i < a.numel(); ++i)
+        if (!std::isfinite(pa[i]))
+            return false;
+    return true;
+}
+
+} // namespace ops
+} // namespace gnnperf

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Forward tensor kernels.
+ *
+ * Every function really computes its result on the host CPU and emits
+ * one KernelRecord (name, FLOPs, bytes moved) to the Profiler, which is
+ * how the timing model learns what a GPU deployment would have
+ * executed. Autograd wrappers (autograd/functions.hh) compose these.
+ *
+ * Naming note: `xxxInto` variants write into a preallocated output and
+ * are used by the optimizer's in-place updates.
+ */
+
+#ifndef GNNPERF_TENSOR_OPS_HH
+#define GNNPERF_TENSOR_OPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace gnnperf {
+namespace ops {
+
+// ----- elementwise binary ------------------------------------------------
+
+/** c = a + b (same shape). */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** c = a - b (same shape). */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+/** c = a * b elementwise (same shape). */
+Tensor mul(const Tensor &a, const Tensor &b);
+
+/** c = a / b elementwise (same shape). */
+Tensor div(const Tensor &a, const Tensor &b);
+
+/** c[i,j] = a[i,j] + b[j]  — row-broadcast add (bias). */
+Tensor addRows(const Tensor &a, const Tensor &b);
+
+/** c[i,j] = a[i,j] * b[i]  — column-broadcast multiply. */
+Tensor mulCols(const Tensor &a, const Tensor &b);
+
+/** c[i,j] = a[i,j] / b[i]  — column-broadcast divide. */
+Tensor divCols(const Tensor &a, const Tensor &b);
+
+/** a += b in place (same shape). */
+void addInPlace(Tensor &a, const Tensor &b);
+
+/** a += s * b in place (axpy). */
+void addScaledInPlace(Tensor &a, const Tensor &b, float s);
+
+// ----- elementwise unary -------------------------------------------------
+
+/** c = s * a. */
+Tensor scale(const Tensor &a, float s);
+
+/** c = a + s. */
+Tensor addScalar(const Tensor &a, float s);
+
+Tensor relu(const Tensor &a);
+Tensor sigmoid(const Tensor &a);
+Tensor tanhT(const Tensor &a);
+Tensor elu(const Tensor &a, float alpha = 1.0f);
+Tensor leakyRelu(const Tensor &a, float slope = 0.2f);
+Tensor expT(const Tensor &a);
+Tensor logT(const Tensor &a);
+Tensor sqrtT(const Tensor &a);
+Tensor square(const Tensor &a);
+Tensor reciprocal(const Tensor &a, float eps = 0.0f);
+
+// ----- reductions ----------------------------------------------------------
+
+/** Column sums: [N,F] → [F]. */
+Tensor sumRows(const Tensor &a);
+
+/** Column means: [N,F] → [F]. */
+Tensor meanRows(const Tensor &a);
+
+/** Column variance (biased): [N,F] → [F]. */
+Tensor varRows(const Tensor &a, const Tensor &mean);
+
+/** Per-row sums: [N,F] → [N]. */
+Tensor sumCols(const Tensor &a);
+
+/** Sum of all elements → scalar [1]. */
+Tensor sumAll(const Tensor &a);
+
+/** Mean of all elements → scalar [1]. */
+Tensor meanAll(const Tensor &a);
+
+/** Per-row argmax of a rank-2 tensor. */
+std::vector<int64_t> argmaxRows(const Tensor &a);
+
+// ----- softmax -------------------------------------------------------------
+
+/** Row-wise softmax of a rank-2 tensor. */
+Tensor softmaxRows(const Tensor &a);
+
+/** Row-wise log-softmax of a rank-2 tensor. */
+Tensor logSoftmaxRows(const Tensor &a);
+
+// ----- shaping -------------------------------------------------------------
+
+/** Concatenate along columns: [N,Fa] ++ [N,Fb] → [N,Fa+Fb]. */
+Tensor concatCols(const Tensor &a, const Tensor &b);
+
+/** Take columns [begin, end) of a rank-2 tensor. */
+Tensor sliceCols(const Tensor &a, int64_t begin, int64_t end);
+
+/** Take rows [begin, end) of a rank-2 tensor. */
+Tensor sliceRows(const Tensor &a, int64_t begin, int64_t end);
+
+/** Transpose a rank-2 tensor. */
+Tensor transpose(const Tensor &a);
+
+/** Gather rows: out[e] = a[idx[e]]. */
+Tensor gatherRows(const Tensor &a, const std::vector<int64_t> &idx);
+
+/** Scatter-add rows: out[idx[e]] += src[e]; out has `num_rows` rows. */
+Tensor scatterAddRows(const Tensor &src, const std::vector<int64_t> &idx,
+                      int64_t num_rows);
+
+/** L2-normalise each row (zero rows stay zero). */
+Tensor l2NormalizeRows(const Tensor &a, float eps = 1e-12f);
+
+/** Per-row L2 norms: [N,F] → [N]. */
+Tensor rowNorms(const Tensor &a, float eps = 1e-12f);
+
+// ----- misc ----------------------------------------------------------------
+
+/** Elementwise maximum of two tensors. */
+Tensor maximum(const Tensor &a, const Tensor &b);
+
+/** Dropout forward: returns masked/scaled copy, fills `mask`. */
+Tensor dropout(const Tensor &a, float p, Tensor &mask, uint64_t seed);
+
+/** True when all finite (used by tests and loss guards). */
+bool allFinite(const Tensor &a);
+
+} // namespace ops
+} // namespace gnnperf
+
+#endif // GNNPERF_TENSOR_OPS_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Dense FP32 tensor with device-accounted storage.
+ *
+ * Tensors are row-major, contiguous, rank 1 or 2 (the GNN workloads in
+ * the paper need nothing higher: multi-head attention is laid out as
+ * [N, heads*feat]). Storage is reference counted; clones deep-copy.
+ * Allocation and deallocation are reported to the DeviceManager so that
+ * peak "GPU" memory (paper Fig. 4) is tracked exactly.
+ */
+
+#ifndef GNNPERF_TENSOR_TENSOR_HH
+#define GNNPERF_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/device.hh"
+
+namespace gnnperf {
+
+/** Reference-counted, device-accounted flat float buffer. */
+class Storage
+{
+  public:
+    Storage(std::size_t numel, DeviceKind device);
+    ~Storage();
+
+    Storage(const Storage &) = delete;
+    Storage &operator=(const Storage &) = delete;
+
+    float *data() { return data_.get(); }
+    const float *data() const { return data_.get(); }
+    std::size_t numel() const { return numel_; }
+    DeviceKind device() const { return device_; }
+
+  private:
+    std::unique_ptr<float[]> data_;
+    std::size_t numel_;
+    DeviceKind device_;
+};
+
+/**
+ * Dense FP32 tensor.
+ */
+class Tensor
+{
+  public:
+    /** An undefined tensor (no storage). */
+    Tensor() = default;
+
+    /** Allocate an uninitialised tensor of the given shape. */
+    explicit Tensor(std::vector<int64_t> shape,
+                    DeviceKind device = DeviceKind::Cuda);
+
+    /** Zero-filled tensor. */
+    static Tensor zeros(std::vector<int64_t> shape,
+                        DeviceKind device = DeviceKind::Cuda);
+
+    /** One-filled tensor. */
+    static Tensor ones(std::vector<int64_t> shape,
+                       DeviceKind device = DeviceKind::Cuda);
+
+    /** Constant-filled tensor. */
+    static Tensor full(std::vector<int64_t> shape, float value,
+                       DeviceKind device = DeviceKind::Cuda);
+
+    /** Tensor from explicit values (size must match the shape). */
+    static Tensor fromVector(const std::vector<float> &values,
+                             std::vector<int64_t> shape,
+                             DeviceKind device = DeviceKind::Cuda);
+
+    /** Scalar tensor of shape [1]. */
+    static Tensor scalar(float value,
+                         DeviceKind device = DeviceKind::Cuda);
+
+    bool defined() const { return storage_ != nullptr; }
+    int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+    const std::vector<int64_t> &shape() const { return shape_; }
+    int64_t dim(int64_t i) const;
+    int64_t numel() const { return numel_; }
+    std::size_t bytes() const { return numel_ * sizeof(float); }
+    DeviceKind device() const;
+
+    float *data();
+    const float *data() const;
+
+    /** Element access for rank-1 / rank-2 tensors (bounds-checked). */
+    float at(int64_t i) const;
+    float at(int64_t i, int64_t j) const;
+    void set(int64_t i, float v);
+    void set(int64_t i, int64_t j, float v);
+
+    /** Deep copy. */
+    Tensor clone() const;
+
+    /**
+     * Copy to another device. Host→Cuda copies emit an H2DTransfer
+     * host record (PCIe traffic in the timing model); same-device is a
+     * cheap shared-storage copy.
+     */
+    Tensor to(DeviceKind device) const;
+
+    /** View with a new shape (same storage; numel must match). */
+    Tensor reshape(std::vector<int64_t> shape) const;
+
+    /** Fill with a constant. */
+    void fill(float value);
+
+    /** Copy values out to a std::vector. */
+    std::vector<float> toVector() const;
+
+    /** "[2708, 1433] cuda" style description. */
+    std::string describe() const;
+
+    /** True when shapes are identical. */
+    bool sameShape(const Tensor &other) const
+    {
+        return shape_ == other.shape_;
+    }
+
+  private:
+    std::vector<int64_t> shape_;
+    int64_t numel_ = 0;
+    std::shared_ptr<Storage> storage_;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_TENSOR_TENSOR_HH

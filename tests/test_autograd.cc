@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Autograd tests: tape mechanics (graph pruning, accumulation,
+ * no-grad mode) and numerical gradient checks for every
+ * differentiable op.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autograd/functions.hh"
+#include "autograd/grad_check.hh"
+#include "common/random.hh"
+#include "tensor/init.hh"
+#include "tensor/ops.hh"
+
+using namespace gnnperf;
+using autograd::checkGradients;
+using autograd::GradMode;
+
+namespace {
+
+Var
+randomLeaf(std::vector<int64_t> shape, uint64_t seed,
+           float scale = 1.0f)
+{
+    Rng rng(seed);
+    return Var(init::normal(std::move(shape), 0.0f, scale, rng),
+               /*requires_grad=*/true);
+}
+
+} // namespace
+
+TEST(Autograd, LeafHasNoGradInitially)
+{
+    Var v(Tensor::ones({2}), true);
+    EXPECT_TRUE(v.requiresGrad());
+    EXPECT_FALSE(v.hasGrad());
+}
+
+TEST(Autograd, BackwardThroughAdd)
+{
+    Var a(Tensor::fromVector({1, 2}, {2}), true);
+    Var b(Tensor::fromVector({3, 4}, {2}), true);
+    Var loss = fn::sumAll(fn::add(a, b));
+    loss.backward();
+    EXPECT_FLOAT_EQ(a.grad().at(0), 1.0f);
+    EXPECT_FLOAT_EQ(b.grad().at(1), 1.0f);
+}
+
+TEST(Autograd, GradAccumulatesWhenReused)
+{
+    Var a(Tensor::fromVector({2}, {1}), true);
+    Var loss = fn::sumAll(fn::add(a, a));
+    loss.backward();
+    EXPECT_FLOAT_EQ(a.grad().at(0), 2.0f);
+}
+
+TEST(Autograd, NoGradModePrunesGraph)
+{
+    Var a(Tensor::ones({2}), true);
+    {
+        NoGradGuard guard;
+        Var y = fn::scale(a, 3.0f);
+        EXPECT_FALSE(y.requiresGrad());
+    }
+    Var y = fn::scale(a, 3.0f);
+    EXPECT_TRUE(y.requiresGrad());
+}
+
+TEST(Autograd, DetachedInputsStayUntouched)
+{
+    Var a(Tensor::ones({2}), true);
+    Var c(Tensor::ones({2}), false);  // constant
+    Var loss = fn::sumAll(fn::mul(a, c));
+    loss.backward();
+    EXPECT_TRUE(a.hasGrad());
+    EXPECT_FALSE(c.hasGrad());
+}
+
+TEST(Autograd, DetachBreaksTape)
+{
+    Var a(Tensor::ones({2}), true);
+    Var y = fn::scale(a, 2.0f).detach();
+    Var loss = fn::sumAll(y);
+    loss.backward();
+    EXPECT_FALSE(a.hasGrad());
+}
+
+TEST(Autograd, ZeroGradClears)
+{
+    Var a(Tensor::ones({2}), true);
+    fn::sumAll(a).backward();
+    EXPECT_TRUE(a.hasGrad());
+    a.zeroGrad();
+    EXPECT_FALSE(a.hasGrad());
+}
+
+TEST(Autograd, DiamondGraphAccumulatesOnce)
+{
+    // loss = sum(a*a + a*a) — both paths flow into a.
+    Var a(Tensor::fromVector({3}, {1}), true);
+    Var sq = fn::mul(a, a);
+    Var loss = fn::sumAll(fn::add(sq, sq));
+    loss.backward();
+    EXPECT_FLOAT_EQ(a.grad().at(0), 12.0f);  // d/da 2a² = 4a
+}
+
+// ---------- numerical gradient checks ----------
+
+TEST(GradCheck, Matmul)
+{
+    Var a = randomLeaf({3, 4}, 1);
+    Var b = randomLeaf({4, 2}, 2);
+    auto r = checkGradients(
+        [&] { return fn::sumAll(fn::mul(fn::matmul(a, b),
+                                        fn::matmul(a, b))); },
+        {a, b});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, AddSubMulScale)
+{
+    Var a = randomLeaf({2, 3}, 3);
+    Var b = randomLeaf({2, 3}, 4);
+    auto r = checkGradients(
+        [&] {
+            Var y = fn::sub(fn::mul(a, b), fn::scale(a, 0.5f));
+            return fn::sumAll(fn::mul(y, y));
+        },
+        {a, b});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, DivElem)
+{
+    Var a = randomLeaf({2, 3}, 5);
+    Var b(Tensor::full({2, 3}, 2.0f), true);
+    auto r = checkGradients(
+        [&] { return fn::sumAll(fn::square(fn::divElem(a, b))); },
+        {a, b});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, MulScalarVar)
+{
+    Var x = randomLeaf({3, 2}, 6);
+    Var s(Tensor::fromVector({0.7f}, {1}), true);
+    auto r = checkGradients(
+        [&] { return fn::sumAll(fn::square(fn::mulScalarVar(x, s))); },
+        {x, s});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, BiasAndRowVecOps)
+{
+    Var x = randomLeaf({4, 3}, 7);
+    Var b = randomLeaf({3}, 8);
+    auto r = checkGradients(
+        [&] {
+            Var y = fn::addBias(x, b);
+            y = fn::subRowVec(y, b);
+            y = fn::mulRowVec(y, b);
+            return fn::sumAll(fn::mul(y, y));
+        },
+        {x, b});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, ColBroadcastOps)
+{
+    Var x = randomLeaf({3, 4}, 9);
+    Var s(Tensor::fromVector({1.5f, 2.0f, 0.8f}, {3}), true);
+    auto r = checkGradients(
+        [&] {
+            Var y = fn::mulCols(x, s);
+            y = fn::divCols(y, s);
+            y = fn::mulCols(y, s);
+            return fn::sumAll(fn::mul(y, y));
+        },
+        {x, s});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, Activations)
+{
+    Var x = randomLeaf({3, 3}, 10);
+    for (auto f : {fn::sigmoid, fn::tanhV}) {
+        auto r = checkGradients(
+            [&] { return fn::sumAll(fn::square(f(x))); }, {x});
+        EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+    }
+    auto relu_r = checkGradients(
+        // Shift away from the kink at 0.
+        [&] { return fn::sumAll(fn::relu(fn::addScalar(x, 3.0f))); },
+        {x});
+    EXPECT_TRUE(relu_r.ok);
+    auto elu_r = checkGradients(
+        [&] { return fn::sumAll(fn::square(fn::elu(x))); }, {x},
+        1e-3f, 6e-2);
+    EXPECT_TRUE(elu_r.ok) << "rel err " << elu_r.maxRelError;
+    auto leaky_r = checkGradients(
+        [&] {
+            return fn::sumAll(
+                fn::square(fn::leakyRelu(fn::addScalar(x, 3.0f))));
+        },
+        {x});
+    EXPECT_TRUE(leaky_r.ok);
+}
+
+TEST(GradCheck, ExpLogSquare)
+{
+    Var x(Tensor::fromVector({0.5f, 1.0f, 2.0f, 3.0f}, {2, 2}), true);
+    auto r = checkGradients(
+        [&] {
+            return fn::sumAll(fn::logV(fn::addScalar(
+                fn::square(fn::expV(fn::scale(x, 0.3f))), 1.0f)));
+        },
+        {x});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, ConcatSliceReshape)
+{
+    Var a = randomLeaf({3, 2}, 11);
+    Var b = randomLeaf({3, 3}, 12);
+    auto r = checkGradients(
+        [&] {
+            Var c = fn::concatCols(a, b);        // [3,5]
+            Var s = fn::sliceCols(c, 1, 4);      // [3,3]
+            Var f = fn::reshape(s, {9, 1});
+            return fn::sumAll(fn::mul(f, f));
+        },
+        {a, b});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, GatherScatter)
+{
+    Var x = randomLeaf({4, 3}, 13);
+    std::vector<int64_t> idx{0, 2, 2, 3, 1};
+    auto r = checkGradients(
+        [&] {
+            Var g = fn::gatherRows(x, idx);          // [5,3]
+            Var s = fn::scatterAddRows(g, idx, 4);   // [4,3]
+            return fn::sumAll(fn::mul(s, s));
+        },
+        {x});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, SumColsAndMeanAll)
+{
+    Var x = randomLeaf({3, 4}, 14);
+    auto r = checkGradients(
+        [&] { return fn::meanAll(fn::square(fn::sumCols(x))); }, {x});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, LogSoftmax)
+{
+    Var x = randomLeaf({3, 5}, 15);
+    auto r = checkGradients(
+        [&] { return fn::sumAll(fn::square(fn::logSoftmax(x))); },
+        {x});
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(GradCheck, L2Normalize)
+{
+    Var x = randomLeaf({3, 4}, 16);
+    auto r = checkGradients(
+        [&] {
+            Var y = fn::l2NormalizeRows(x);
+            return fn::sumAll(fn::mul(y, fn::addScalar(y, 1.0f)));
+        },
+        {x}, 1e-3f, 6e-2);
+    EXPECT_TRUE(r.ok) << "rel err " << r.maxRelError;
+}
+
+TEST(Autograd, DropoutDisabledPassesThrough)
+{
+    Var x(Tensor::ones({4}), true);
+    Var y = fn::dropout(x, 0.5f, /*training=*/false, 1);
+    EXPECT_EQ(y.node().get(), x.node().get());
+}
+
+TEST(Autograd, DropoutBackwardUsesMask)
+{
+    Var x(Tensor::ones({1000}), true);
+    Var y = fn::dropout(x, 0.5f, /*training=*/true, 17);
+    fn::sumAll(y).backward();
+    for (int64_t i = 0; i < 1000; ++i) {
+        const float out = y.value().at(i);
+        const float g = x.grad().at(i);
+        EXPECT_FLOAT_EQ(g, out);  // grad == mask value (1·mask)
+    }
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Cross-backend equivalence properties: both frameworks must compute
+ * identical mathematics (paper §III-C: "same network"), even though
+ * their kernels, op counts and memory behaviour differ.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autograd/functions.hh"
+#include "backends/backend.hh"
+#include "common/random.hh"
+#include "data/tu_dataset.hh"
+#include "tensor/init.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+struct BackendPairFixture
+{
+    GraphDataset dataset = makeEnzymes(9, 12);
+    BatchedGraph pyg;
+    BatchedGraph dgl;
+    Tensor x;
+
+    BackendPairFixture()
+    {
+        std::vector<const Graph *> graphs;
+        for (const Graph &g : dataset.graphs)
+            graphs.push_back(&g);
+        pyg = getBackend(FrameworkKind::PyG).collate(graphs);
+        dgl = getBackend(FrameworkKind::DGL).collate(graphs);
+        Rng rng(4);
+        x = init::normal({pyg.numNodes, 8}, 0.0f, 1.0f, rng);
+    }
+};
+
+void
+expectClose(const Tensor &a, const Tensor &b, float tol = 1e-4f)
+{
+    ASSERT_TRUE(a.sameShape(b))
+        << a.describe() << " vs " << b.describe();
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_NEAR(a.at(i), b.at(i), tol) << "at " << i;
+}
+
+} // namespace
+
+TEST(BackendEquivalence, AggregateSum)
+{
+    BackendPairFixture f;
+    Var a = getBackend(FrameworkKind::PyG)
+                .aggregate(f.pyg, Var(f.x), Reduce::Sum);
+    Var b = getBackend(FrameworkKind::DGL)
+                .aggregate(f.dgl, Var(f.x), Reduce::Sum);
+    expectClose(a.value(), b.value());
+}
+
+TEST(BackendEquivalence, AggregateMean)
+{
+    BackendPairFixture f;
+    Var a = getBackend(FrameworkKind::PyG)
+                .aggregate(f.pyg, Var(f.x), Reduce::Mean);
+    Var b = getBackend(FrameworkKind::DGL)
+                .aggregate(f.dgl, Var(f.x), Reduce::Mean);
+    expectClose(a.value(), b.value());
+}
+
+TEST(BackendEquivalence, AggregateMax)
+{
+    BackendPairFixture f;
+    Var a = getBackend(FrameworkKind::PyG)
+                .aggregate(f.pyg, Var(f.x), Reduce::Max);
+    Var b = getBackend(FrameworkKind::DGL)
+                .aggregate(f.dgl, Var(f.x), Reduce::Max);
+    expectClose(a.value(), b.value());
+}
+
+TEST(BackendEquivalence, AggregateWeightedMultiHead)
+{
+    BackendPairFixture f;
+    Rng rng(6);
+    Tensor w = init::normal({f.pyg.numEdges(), 2}, 0.0f, 1.0f, rng);
+    Var a = getBackend(FrameworkKind::PyG)
+                .aggregateWeighted(f.pyg, Var(f.x), Var(w), 2);
+    Var b = getBackend(FrameworkKind::DGL)
+                .aggregateWeighted(f.dgl, Var(f.x), Var(w), 2);
+    expectClose(a.value(), b.value());
+}
+
+TEST(BackendEquivalence, AggregateWeightedElementwise)
+{
+    BackendPairFixture f;
+    Rng rng(7);
+    Tensor w = init::normal({f.pyg.numEdges(), 8}, 0.0f, 1.0f, rng);
+    Var a = getBackend(FrameworkKind::PyG)
+                .aggregateWeighted(f.pyg, Var(f.x), Var(w), 8);
+    Var b = getBackend(FrameworkKind::DGL)
+                .aggregateWeighted(f.dgl, Var(f.x), Var(w), 8);
+    expectClose(a.value(), b.value());
+}
+
+TEST(BackendEquivalence, AggregateEdges)
+{
+    BackendPairFixture f;
+    Rng rng(8);
+    Tensor e = init::normal({f.pyg.numEdges(), 5}, 0.0f, 1.0f, rng);
+    Var a = getBackend(FrameworkKind::PyG)
+                .aggregateEdges(f.pyg, Var(e));
+    Var b = getBackend(FrameworkKind::DGL)
+                .aggregateEdges(f.dgl, Var(e));
+    expectClose(a.value(), b.value());
+}
+
+TEST(BackendEquivalence, ReadoutMean)
+{
+    BackendPairFixture f;
+    Var a = getBackend(FrameworkKind::PyG)
+                .readoutMean(f.pyg, Var(f.x));
+    Var b = getBackend(FrameworkKind::DGL)
+                .readoutMean(f.dgl, Var(f.x));
+    expectClose(a.value(), b.value());
+}
+
+TEST(BackendEquivalence, GatherEndpoints)
+{
+    BackendPairFixture f;
+    Var a = getBackend(FrameworkKind::PyG).gatherSrc(f.pyg, Var(f.x));
+    Var b = getBackend(FrameworkKind::DGL).gatherSrc(f.dgl, Var(f.x));
+    expectClose(a.value(), b.value());
+    Var c = getBackend(FrameworkKind::PyG).gatherDst(f.pyg, Var(f.x));
+    Var d = getBackend(FrameworkKind::DGL).gatherDst(f.dgl, Var(f.x));
+    expectClose(c.value(), d.value());
+}
+
+TEST(BackendEquivalence, AggregateSumBackward)
+{
+    BackendPairFixture f;
+    Var xa(f.x.clone(), true);
+    Var xb(f.x.clone(), true);
+    getBackend(FrameworkKind::PyG)
+        .aggregate(f.pyg, xa, Reduce::Sum)
+        .backward();
+    getBackend(FrameworkKind::DGL)
+        .aggregate(f.dgl, xb, Reduce::Sum)
+        .backward();
+    expectClose(xa.grad(), xb.grad());
+}
+
+TEST(BackendEquivalence, AggregateMeanBackward)
+{
+    BackendPairFixture f;
+    Var xa(f.x.clone(), true);
+    Var xb(f.x.clone(), true);
+    getBackend(FrameworkKind::PyG)
+        .aggregate(f.pyg, xa, Reduce::Mean)
+        .backward();
+    getBackend(FrameworkKind::DGL)
+        .aggregate(f.dgl, xb, Reduce::Mean)
+        .backward();
+    expectClose(xa.grad(), xb.grad(), 2e-4f);
+}
+
+TEST(BackendEquivalence, WeightedBackwardBothInputs)
+{
+    BackendPairFixture f;
+    Rng rng(10);
+    Tensor w = init::normal({f.pyg.numEdges(), 2}, 0.0f, 1.0f, rng);
+    Var xa(f.x.clone(), true), wa(w.clone(), true);
+    Var xb(f.x.clone(), true), wb(w.clone(), true);
+    Var ya = getBackend(FrameworkKind::PyG)
+                 .aggregateWeighted(f.pyg, xa, wa, 2);
+    Var yb = getBackend(FrameworkKind::DGL)
+                 .aggregateWeighted(f.dgl, xb, wb, 2);
+    fn::sumAll(fn::square(ya)).backward();
+    fn::sumAll(fn::square(yb)).backward();
+    expectClose(xa.grad(), xb.grad(), 5e-4f);
+    expectClose(wa.grad(), wb.grad(), 5e-4f);
+}
+
+TEST(BackendEquivalence, ReadoutBackward)
+{
+    BackendPairFixture f;
+    Var xa(f.x.clone(), true);
+    Var xb(f.x.clone(), true);
+    fn::sumAll(fn::square(getBackend(FrameworkKind::PyG)
+                              .readoutMean(f.pyg, xa)))
+        .backward();
+    fn::sumAll(fn::square(getBackend(FrameworkKind::DGL)
+                              .readoutMean(f.dgl, xb)))
+        .backward();
+    expectClose(xa.grad(), xb.grad(), 2e-4f);
+}
+
+TEST(BackendPolicy, EdgeFeatureRequirement)
+{
+    // The paper's GatedGCN observation hinges on this policy split.
+    EXPECT_FALSE(getBackend(FrameworkKind::PyG).requiresEdgeFeatures());
+    EXPECT_TRUE(getBackend(FrameworkKind::DGL).requiresEdgeFeatures());
+}
+
+TEST(BackendPolicy, DispatchOverheadOrdering)
+{
+    EXPECT_LT(getBackend(FrameworkKind::PyG).dispatchOverhead(),
+              getBackend(FrameworkKind::DGL).dispatchOverhead());
+}
+
+TEST(BackendPolicy, NamesAndRegistry)
+{
+    EXPECT_STREQ(getBackend(FrameworkKind::PyG).name(), "PyG");
+    EXPECT_STREQ(getBackend(FrameworkKind::DGL).name(), "DGL");
+    EXPECT_EQ(&getBackend(FrameworkKind::PyG),
+              &getBackend(FrameworkKind::PyG));
+    EXPECT_EQ(allFrameworks().size(), 2u);
+}

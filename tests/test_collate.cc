@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Collation tests: both backends must produce structurally identical
+ * batches (same big disconnected graph), while doing their
+ * framework-specific extra work (DGL: hetero processing + eager
+ * formats; PyG: neither).
+ */
+
+#include <gtest/gtest.h>
+
+#include "backends/backend.hh"
+#include "data/tu_dataset.hh"
+#include "device/cost_model.hh"
+#include "device/profiler.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+std::vector<const Graph *>
+members(const GraphDataset &ds, std::size_t count)
+{
+    std::vector<const Graph *> out;
+    for (std::size_t i = 0; i < count && i < ds.graphs.size(); ++i)
+        out.push_back(&ds.graphs[i]);
+    return out;
+}
+
+} // namespace
+
+class CollateTest : public ::testing::TestWithParam<FrameworkKind>
+{
+};
+
+TEST_P(CollateTest, OffsetsAndCounts)
+{
+    GraphDataset ds = makeEnzymes(5, 10);
+    auto graphs = members(ds, 4);
+    BatchedGraph batch = getBackend(GetParam()).collate(graphs);
+
+    int64_t nodes = 0, edges = 0;
+    for (const Graph *g : graphs) {
+        nodes += g->numNodes;
+        edges += g->numEdges();
+    }
+    EXPECT_EQ(batch.numNodes, nodes);
+    EXPECT_EQ(batch.numEdges(), edges);
+    EXPECT_EQ(batch.numGraphs, 4);
+    ASSERT_EQ(batch.graphPtr.size(), 5u);
+    EXPECT_EQ(batch.graphPtr.front(), 0);
+    EXPECT_EQ(batch.graphPtr.back(), nodes);
+}
+
+TEST_P(CollateTest, EdgesStayWithinTheirGraph)
+{
+    GraphDataset ds = makeEnzymes(5, 10);
+    auto graphs = members(ds, 4);
+    BatchedGraph batch = getBackend(GetParam()).collate(graphs);
+    for (std::size_t e = 0;
+         e < static_cast<std::size_t>(batch.numEdges()); ++e) {
+        const int64_t gs =
+            batch.nodeGraph[static_cast<std::size_t>(batch.edgeSrc[e])];
+        const int64_t gd =
+            batch.nodeGraph[static_cast<std::size_t>(batch.edgeDst[e])];
+        ASSERT_EQ(gs, gd) << "edge " << e << " crosses graphs";
+    }
+}
+
+TEST_P(CollateTest, FeaturesConcatenatedInOrder)
+{
+    GraphDataset ds = makeEnzymes(5, 10);
+    auto graphs = members(ds, 3);
+    BatchedGraph batch = getBackend(GetParam()).collate(graphs);
+    EXPECT_EQ(batch.x.device(), DeviceKind::Cuda);
+    int64_t row = 0;
+    for (const Graph *g : graphs) {
+        for (int64_t i = 0; i < g->numNodes; ++i) {
+            for (int64_t j = 0; j < g->x.dim(1); ++j)
+                ASSERT_FLOAT_EQ(batch.x.at(row, j), g->x.at(i, j));
+            ++row;
+        }
+    }
+}
+
+TEST_P(CollateTest, LabelsCollected)
+{
+    GraphDataset ds = makeEnzymes(5, 10);
+    auto graphs = members(ds, 4);
+    BatchedGraph batch = getBackend(GetParam()).collate(graphs);
+    ASSERT_EQ(batch.graphLabels.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(batch.graphLabels[i], graphs[i]->graphLabel);
+}
+
+TEST_P(CollateTest, DegreesMatchEdges)
+{
+    GraphDataset ds = makeEnzymes(5, 10);
+    auto graphs = members(ds, 2);
+    BatchedGraph batch = getBackend(GetParam()).collate(graphs);
+    ASSERT_TRUE(batch.inDegrees.defined());
+    double total = 0.0;
+    for (int64_t i = 0; i < batch.numNodes; ++i)
+        total += batch.inDegrees.at(i);
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(batch.numEdges()));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFrameworks, CollateTest,
+                         ::testing::Values(FrameworkKind::PyG,
+                                           FrameworkKind::DGL),
+                         [](const auto &info) {
+                             return std::string(
+                                 frameworkName(info.param));
+                         });
+
+TEST(CollateDiff, BackendsProduceIdenticalStructure)
+{
+    GraphDataset ds = makeEnzymes(5, 10);
+    auto graphs = members(ds, 4);
+    BatchedGraph pyg = getBackend(FrameworkKind::PyG).collate(graphs);
+    BatchedGraph dgl = getBackend(FrameworkKind::DGL).collate(graphs);
+    EXPECT_EQ(pyg.edgeSrc, dgl.edgeSrc);
+    EXPECT_EQ(pyg.edgeDst, dgl.edgeDst);
+    EXPECT_EQ(pyg.nodeGraph, dgl.nodeGraph);
+    EXPECT_EQ(pyg.graphLabels, dgl.graphLabels);
+}
+
+TEST(CollateDiff, OnlyDglIsHeteroProcessed)
+{
+    GraphDataset ds = makeEnzymes(5, 10);
+    auto graphs = members(ds, 2);
+    EXPECT_FALSE(getBackend(FrameworkKind::PyG)
+                     .collate(graphs).heteroProcessed);
+    EXPECT_TRUE(getBackend(FrameworkKind::DGL)
+                    .collate(graphs).heteroProcessed);
+}
+
+TEST(CollateDiff, DglBuildsFormatsEagerlyPygDoesNot)
+{
+    GraphDataset ds = makeEnzymes(5, 10);
+    auto graphs = members(ds, 2);
+    BatchedGraph pyg = getBackend(FrameworkKind::PyG).collate(graphs);
+    BatchedGraph dgl = getBackend(FrameworkKind::DGL).collate(graphs);
+    EXPECT_FALSE(pyg.inIndex.has_value());
+    EXPECT_FALSE(pyg.outIndex.has_value());
+    EXPECT_TRUE(dgl.inIndex.has_value());
+    EXPECT_TRUE(dgl.outIndex.has_value());
+}
+
+TEST(CollateDiff, DglCollationCostsMoreHostTime)
+{
+    GraphDataset ds = makeEnzymes(5, 64);
+    auto graphs = members(ds, 64);
+    Profiler &prof = Profiler::instance();
+
+    auto host_time = [&](FrameworkKind fw) {
+        prof.reset();
+        prof.setEnabled(true);
+        PhaseScope phase(Phase::DataLoading);
+        BatchedGraph batch = getBackend(fw).collate(graphs);
+        double t = 0.0;
+        for (const auto &entry : prof.trace().entries())
+            if (!entry.isKernel)
+                t += CostModel::defaultModel().hostTime(entry.host);
+        prof.reset();
+        prof.setEnabled(false);
+        return t;
+    };
+
+    const double pyg = host_time(FrameworkKind::PyG);
+    const double dgl = host_time(FrameworkKind::DGL);
+    EXPECT_GT(dgl, pyg * 1.8)
+        << "DGL collation should be ≫ PyG (paper Fig. 1/2)";
+}

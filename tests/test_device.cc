@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Device-model tests: cost model pricing, memory statistics, and the
+ * multi-GPU DataParallel composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/cost_model.hh"
+#include "device/device.hh"
+#include "device/multi_gpu.hh"
+
+using namespace gnnperf;
+
+TEST(CostModel, KernelRoofline)
+{
+    CostModel model;
+    // Compute-bound kernel: flops dominate.
+    KernelRecord big_flops{"k", 1e12, 1e3, Phase::Forward, -1};
+    EXPECT_NEAR(model.kernelTime(big_flops),
+                model.gpu.kernelOverhead + 1e12 / model.gpu.flopsPerSec,
+                1e-9);
+    // Memory-bound kernel: bytes dominate.
+    KernelRecord big_bytes{"k", 1e3, 1e12, Phase::Forward, -1};
+    EXPECT_NEAR(model.kernelTime(big_bytes),
+                model.gpu.kernelOverhead + 1e12 / model.gpu.bytesPerSec,
+                1e-9);
+}
+
+TEST(CostModel, EmptyKernelCostsOverhead)
+{
+    CostModel model;
+    KernelRecord k{"k", 0.0, 0.0, Phase::Forward, -1};
+    EXPECT_DOUBLE_EQ(model.kernelTime(k), model.gpu.kernelOverhead);
+}
+
+TEST(CostModel, HostRatesOrdered)
+{
+    CostModel model;
+    HostRecord memcpy_op{"m", HostOpKind::Memcpy, 1e6, 1.0,
+                         Phase::DataLoading, -1};
+    HostRecord gather_op{"g", HostOpKind::IndexedGather, 1e6, 1.0,
+                         Phase::DataLoading, -1};
+    // The generic per-element path is much slower per byte — the
+    // §IV-C "cannot use PyTorch's efficient data operations" effect.
+    EXPECT_GT(model.hostTime(gather_op),
+              model.hostTime(memcpy_op) * 5.0);
+}
+
+TEST(CostModel, DispatchScalesWithItems)
+{
+    CostModel model;
+    HostRecord one{"d", HostOpKind::Dispatch, 0.0, 1.0, Phase::Other,
+                   -1};
+    HostRecord ten{"d", HostOpKind::Dispatch, 0.0, 10.0, Phase::Other,
+                   -1};
+    EXPECT_NEAR(model.hostTime(ten) - model.hostTime(one),
+                9.0 * model.host.dispatchItemCost, 1e-12);
+}
+
+TEST(CostModel, H2DTransferIncludesLatency)
+{
+    CostModel model;
+    HostRecord h2d{"t", HostOpKind::H2DTransfer, 11e9, 1.0,
+                   Phase::DataLoading, -1};
+    EXPECT_NEAR(model.hostTime(h2d),
+                model.host.hostOpBase + model.host.h2dLatency + 1.0,
+                1e-6);
+}
+
+TEST(MemoryStats, AllocFreeAndPeak)
+{
+    MemoryStats stats;
+    stats.onAlloc(100);
+    stats.onAlloc(50);
+    EXPECT_EQ(stats.currentBytes, 150u);
+    EXPECT_EQ(stats.peakBytes, 150u);
+    stats.onFree(100);
+    EXPECT_EQ(stats.currentBytes, 50u);
+    EXPECT_EQ(stats.peakBytes, 150u);
+    stats.resetPeak();
+    EXPECT_EQ(stats.peakBytes, 50u);
+    EXPECT_EQ(stats.allocCount, 2u);
+    EXPECT_EQ(stats.totalAllocated, 150u);
+}
+
+TEST(DeviceManager, SeparatesDevices)
+{
+    auto &dm = DeviceManager::instance();
+    const std::size_t host_before =
+        dm.stats(DeviceKind::Host).currentBytes;
+    const std::size_t cuda_before = dm.cudaCurrent();
+    dm.notifyAlloc(DeviceKind::Host, 10);
+    EXPECT_EQ(dm.stats(DeviceKind::Host).currentBytes,
+              host_before + 10);
+    EXPECT_EQ(dm.cudaCurrent(), cuda_before);
+    dm.notifyFree(DeviceKind::Host, 10);
+}
+
+TEST(DataParallel, SingleGpuHasNoTransferTerms)
+{
+    CostModel model;
+    DataParallelParams p;
+    p.numGpus = 1;
+    p.paramBytes = 1e6;
+    p.shardInputBytes = 1e6;
+    p.collateTime = 0.01;
+    p.shardComputeElapsed = 0.02;
+    p.shardDispatchTime = 0.005;
+    p.updateTime = 0.001;
+    EXPECT_DOUBLE_EQ(DataParallelModel::scatterTime(p, model), 0.0);
+    EXPECT_DOUBLE_EQ(DataParallelModel::replicateTime(p, model), 0.0);
+    EXPECT_DOUBLE_EQ(DataParallelModel::gatherReduceTime(p, model),
+                     0.0);
+    EXPECT_NEAR(DataParallelModel::iterationTime(p, model),
+                0.01 + 0.02 + 0.001, 1e-12);
+}
+
+TEST(DataParallel, TransferGrowsWithGpuCount)
+{
+    CostModel model;
+    DataParallelParams p;
+    p.paramBytes = 4e6;
+    p.shardInputBytes = 1e6;
+    p.shardOutputBytes = 1e4;
+    p.numGpus = 2;
+    const double t2 = DataParallelModel::replicateTime(p, model) +
+                      DataParallelModel::gatherReduceTime(p, model);
+    p.numGpus = 8;
+    const double t8 = DataParallelModel::replicateTime(p, model) +
+                      DataParallelModel::gatherReduceTime(p, model);
+    EXPECT_NEAR(t8 / t2, 7.0, 1e-6);
+}
+
+TEST(DataParallel, LoadingBoundShapeMatchesPaper)
+{
+    // With collate dominating, 1→4 GPUs helps mildly and 8 GPUs
+    // regresses — the Fig. 6 shape.
+    CostModel model;
+    DataParallelParams p;
+    p.paramBytes = 4e6;
+    p.shardInputBytes = 5e5;
+    p.shardOutputBytes = 1e4;
+    p.collateTime = 0.030;
+    p.updateTime = 0.002;
+
+    auto time_at = [&](int gpus) {
+        DataParallelParams q = p;
+        q.numGpus = gpus;
+        // Shard compute shrinks with the shard, dispatch does not.
+        q.shardDispatchTime = 0.008;
+        q.shardComputeElapsed = 0.008 + 0.012 / gpus;
+        return DataParallelModel::iterationTime(q, model);
+    };
+    const double t1 = time_at(1), t2 = time_at(2), t4 = time_at(4),
+                 t8 = time_at(8);
+    EXPECT_LT(t2, t1);
+    EXPECT_LT(t4, t2);
+    EXPECT_GT(t8, t4);           // transfer overhead wins at 8
+    EXPECT_GT(t4, t1 * 0.6);     // far from linear speedup
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Failure-injection tests: invalid shapes, indices, and
+ * configurations must fail loudly (panic/abort), never silently
+ * corrupt — the gem5-style error discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autograd/functions.hh"
+#include "common/random.hh"
+#include "data/dataloader.hh"
+#include "data/splits.hh"
+#include "data/tu_dataset.hh"
+#include "graph/graph.hh"
+#include "graph/segment.hh"
+#include "nn/batch_norm.hh"
+#include "nn/loss.hh"
+#include "tensor/matmul.hh"
+#include "tensor/ops.hh"
+
+using namespace gnnperf;
+
+using ErrorDeathTest = ::testing::Test;
+
+TEST(ErrorDeathTest, TensorOutOfBoundsAccess)
+{
+    Tensor t = Tensor::zeros({2, 2});
+    EXPECT_DEATH(t.at(4), "out of");
+    EXPECT_DEATH(t.at(2, 0), "out of");
+    EXPECT_DEATH(t.at(0, 2), "out of");
+}
+
+TEST(ErrorDeathTest, TensorShapeMismatchInOps)
+{
+    Tensor a = Tensor::zeros({2, 2});
+    Tensor b = Tensor::zeros({2, 3});
+    EXPECT_DEATH(ops::add(a, b), "shape mismatch");
+    EXPECT_DEATH(ops::matmul(a, b.reshape({3, 2})), "matmul");
+}
+
+TEST(ErrorDeathTest, FromVectorSizeMismatch)
+{
+    EXPECT_DEATH(Tensor::fromVector({1, 2, 3}, {2, 2}), "fromVector");
+}
+
+TEST(ErrorDeathTest, ReshapeNumelMismatch)
+{
+    Tensor t = Tensor::zeros({2, 2});
+    EXPECT_DEATH(t.reshape({5}), "numel mismatch");
+}
+
+TEST(ErrorDeathTest, UndefinedTensorAccess)
+{
+    Tensor t;
+    EXPECT_DEATH(t.data(), "undefined");
+}
+
+TEST(ErrorDeathTest, GatherIndexOutOfRange)
+{
+    Tensor x = Tensor::zeros({3, 2});
+    EXPECT_DEATH(ops::gatherRows(x, {0, 5}), "out of");
+    EXPECT_DEATH(ops::scatterAddRows(x, {0, 1, 7}, 3), "out of");
+}
+
+TEST(ErrorDeathTest, GradientShapeMismatch)
+{
+    Var v(Tensor::zeros({2, 2}), true);
+    EXPECT_DEATH(v.backward(Tensor::zeros({3})), "gradient shape");
+}
+
+TEST(ErrorDeathTest, ItemOnNonScalar)
+{
+    Var v(Tensor::zeros({2, 2}));
+    EXPECT_DEATH(v.item(), "item");
+}
+
+TEST(ErrorDeathTest, GraphEdgeOutOfRange)
+{
+    Graph g;
+    g.numNodes = 3;
+    EXPECT_DEATH(g.addEdge(0, 3), "out of");
+    EXPECT_DEATH(g.addEdge(-1, 0), "out of");
+}
+
+TEST(ErrorDeathTest, SegmentPointerInvalid)
+{
+    Tensor x = Tensor::zeros({4, 2});
+    EXPECT_DEATH(graphops::segmentMean(x, {0, 2}),
+                 "bad segment pointer");
+}
+
+TEST(ErrorDeathTest, LossLabelOutOfRange)
+{
+    Var logits(Tensor::zeros({2, 3}));
+    EXPECT_DEATH(nn::crossEntropy(logits, {0, 5}), "label");
+    EXPECT_DEATH(nn::crossEntropy(logits, {0}), "targets");
+}
+
+TEST(ErrorDeathTest, BatchNormWidthMismatch)
+{
+    nn::BatchNorm1d bn(4);
+    Var x(Tensor::zeros({3, 5}));
+    EXPECT_DEATH(bn.forward(x), "BatchNorm1d");
+}
+
+TEST(ErrorDeathTest, DataLoaderBadIndices)
+{
+    GraphDataset ds = makeEnzymes(1, 6);
+    EXPECT_DEATH(DataLoader(ds, {0, 99}, 2,
+                            getBackend(FrameworkKind::PyG), false, 1),
+                 "out of range");
+    EXPECT_DEATH(DataLoader(ds, {}, 2,
+                            getBackend(FrameworkKind::PyG), false, 1),
+                 "empty");
+}
+
+TEST(ErrorDeathTest, MulScalarVarRequiresScalar)
+{
+    Var x(Tensor::zeros({2, 2}));
+    Var s(Tensor::zeros({2}));
+    EXPECT_DEATH(fn::mulScalarVar(x, s), "non-scalar");
+}
+
+TEST(ErrorDeathTest, CategoricalRejectsBadWeights)
+{
+    Rng rng(1);
+    std::vector<double> empty;
+    EXPECT_DEATH(rng.categorical(empty), "empty");
+    std::vector<double> zeros{0.0, 0.0};
+    EXPECT_DEATH(rng.categorical(zeros), "all-zero");
+}
+
+TEST(ErrorDeathTest, KFoldRejectsTinyInputs)
+{
+    std::vector<int64_t> labels{0};
+    EXPECT_DEATH(stratifiedKFold(labels, 2, 1), "fewer samples");
+    std::vector<int64_t> more{0, 1, 0, 1};
+    EXPECT_DEATH(stratifiedKFold(more, 1, 1), "k < 2");
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Experiment-driver and report tests: mini versions of the paper's
+ * tables/figures, checking row structure and headline orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+NodeDataset
+miniCitation()
+{
+    CitationConfig cfg;
+    cfg.name = "MiniCora";
+    cfg.numNodes = 250;
+    cfg.numUndirectedEdges = 500;
+    cfg.numFeatures = 40;
+    cfg.numClasses = 3;
+    cfg.trainPerClass = 10;
+    cfg.valCount = 50;
+    cfg.testCount = 80;
+    cfg.seed = 9;
+    return makeCitation(cfg);
+}
+
+const GraphDataset &
+miniEnzymes()
+{
+    static GraphDataset ds = makeEnzymes(17, 48);
+    return ds;
+}
+
+} // namespace
+
+TEST(Experiment, NodeClassificationRowsComplete)
+{
+    NodeDataset ds = miniCitation();
+    auto rows = runNodeClassification(
+        ds, {ModelKind::GCN, ModelKind::GAT}, /*seeds=*/2,
+        /*max_epochs=*/8);
+    ASSERT_EQ(rows.size(), 4u);  // 2 models × 2 frameworks
+    for (const auto &row : rows) {
+        EXPECT_GT(row.epochTime, 0.0);
+        EXPECT_GT(row.totalTime, row.epochTime);
+        EXPECT_GE(row.accuracy.mean, 0.0);
+        EXPECT_LE(row.accuracy.mean, 1.0);
+        EXPECT_EQ(row.accuracy.count, 2u);
+    }
+}
+
+TEST(Experiment, NodeRowsPygFasterThanDgl)
+{
+    NodeDataset ds = miniCitation();
+    auto rows = runNodeClassification(ds, {ModelKind::GCN}, 1, 6);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].framework, FrameworkKind::PyG);
+    EXPECT_LT(rows[0].epochTime, rows[1].epochTime);
+}
+
+TEST(Experiment, GraphClassificationRowsComplete)
+{
+    auto rows = runGraphClassification(miniEnzymes(),
+                                       {ModelKind::GCN}, /*folds=*/2,
+                                       /*max_epochs=*/4, /*seed=*/1);
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto &row : rows) {
+        EXPECT_EQ(row.accuracy.count, 2u);
+        EXPECT_GT(row.epochTime, 0.0);
+    }
+    EXPECT_LT(rows[0].epochTime, rows[1].epochTime);  // PyG < DGL
+}
+
+TEST(Experiment, ProfileGridShape)
+{
+    auto cells = runProfileGrid(miniEnzymes(),
+                                {ModelKind::GCN, ModelKind::GAT},
+                                {8, 16}, /*epochs=*/1, /*seed=*/1);
+    EXPECT_EQ(cells.size(), 2u * 2u * 2u);
+    for (const auto &cell : cells) {
+        EXPECT_GT(cell.profile.epochTime, 0.0);
+        EXPECT_GT(cell.profile.peakMemoryBytes, 0u);
+        EXPECT_GT(cell.profile.gpuUtilization, 0.0);
+    }
+}
+
+TEST(Experiment, BiggerBatchReducesEpochTimeOnSmallGraphs)
+{
+    // The Fig. 1 observation: on ENZYMES-like data, doubling batch
+    // size cuts per-epoch time (fewer dispatch-bound iterations).
+    auto cells = runProfileGrid(miniEnzymes(), {ModelKind::GCN},
+                                {8, 32}, 1, 1);
+    double t8 = 0.0, t32 = 0.0;
+    for (const auto &cell : cells) {
+        if (cell.framework != FrameworkKind::PyG)
+            continue;
+        (cell.batchSize == 8 ? t8 : t32) = cell.profile.epochTime;
+    }
+    EXPECT_LT(t32, t8);
+}
+
+TEST(Experiment, AnisotropicModelsCostMore)
+{
+    auto cells = runProfileGrid(miniEnzymes(),
+                                {ModelKind::GCN, ModelKind::GatedGCN},
+                                {16}, 1, 1);
+    double gcn_dgl = 0.0, gated_dgl = 0.0;
+    for (const auto &cell : cells) {
+        if (cell.framework != FrameworkKind::DGL)
+            continue;
+        (cell.model == ModelKind::GCN ? gcn_dgl : gated_dgl) =
+            cell.profile.epochTime;
+    }
+    EXPECT_GT(gated_dgl, gcn_dgl);
+}
+
+TEST(Experiment, GatedGcnMemoryBlowupUnderDgl)
+{
+    // Paper Fig. 4: DGL GatedGCN's edge-feature stream dominates.
+    auto cells = runProfileGrid(miniEnzymes(), {ModelKind::GatedGCN},
+                                {16}, 1, 1);
+    std::size_t pyg_mem = 0, dgl_mem = 0;
+    for (const auto &cell : cells) {
+        (cell.framework == FrameworkKind::PyG ? pyg_mem : dgl_mem) =
+            cell.profile.peakMemoryBytes;
+    }
+    EXPECT_GT(dgl_mem, pyg_mem);
+}
+
+TEST(Experiment, LayerwiseProfileHasLayers)
+{
+    auto cells = runLayerwiseProfile(miniEnzymes(), {ModelKind::GIN},
+                                     16, 1, 1);
+    ASSERT_EQ(cells.size(), 2u);
+    for (const auto &cell : cells)
+        EXPECT_GE(cell.profile.layerTimes.size(), 5u);
+}
+
+TEST(Report, CellsFormat)
+{
+    EXPECT_EQ(epochTotalCell(0.0049, 5.82), "0.0049s/5.82s");
+    SeriesStats stats;
+    stats.mean = 0.808;
+    stats.stddev = 0.013;
+    EXPECT_EQ(accuracyCell(stats), "80.8±1.3");
+}
+
+TEST(Report, TablesRenderWithoutCrashing)
+{
+    NodeDataset ds = miniCitation();
+    auto rows = runNodeClassification(ds, {ModelKind::GCN}, 1, 3);
+    std::string table = renderNodeTable(ds.name, rows);
+    EXPECT_NE(table.find("GCN"), std::string::npos);
+    EXPECT_NE(table.find("PyG"), std::string::npos);
+    EXPECT_NE(table.find("DGL"), std::string::npos);
+}
+
+TEST(Report, DatasetTableMatchesInfo)
+{
+    GraphDataset enz = makeEnzymes(1, 24);
+    std::string table = renderDatasetTable({enz.info()});
+    EXPECT_NE(table.find("ENZYMES"), std::string::npos);
+    EXPECT_NE(table.find("24"), std::string::npos);
+}
+
+TEST(Report, CsvOutputsWellFormed)
+{
+    NodeDataset ds = miniCitation();
+    auto node_rows = runNodeClassification(ds, {ModelKind::GCN}, 1, 3);
+    std::string node_csv = nodeTableCsv(ds.name, node_rows);
+    // Header + one line per row; constant column count per line.
+    const auto lines = std::count(node_csv.begin(), node_csv.end(),
+                                  '\n');
+    EXPECT_EQ(lines, 1 + static_cast<int64_t>(node_rows.size()));
+    const auto header_commas =
+        std::count(node_csv.begin(),
+                   node_csv.begin() +
+                       static_cast<long>(node_csv.find('\n')), ',');
+    for (std::size_t pos = node_csv.find('\n') + 1;
+         pos < node_csv.size();) {
+        std::size_t end = node_csv.find('\n', pos);
+        EXPECT_EQ(std::count(node_csv.begin() + static_cast<long>(pos),
+                             node_csv.begin() + static_cast<long>(end),
+                             ','),
+                  header_commas);
+        pos = end + 1;
+    }
+
+    auto cells = runProfileGrid(miniEnzymes(), {ModelKind::GCN}, {8},
+                                1, 1);
+    std::string grid_csv = profileGridCsv("ENZYMES", cells);
+    EXPECT_NE(grid_csv.find("gpu_util"), std::string::npos);
+    EXPECT_EQ(std::count(grid_csv.begin(), grid_csv.end(), '\n'),
+              1 + static_cast<int64_t>(cells.size()));
+
+    std::string info_csv = datasetInfoCsv({miniEnzymes().info()});
+    EXPECT_NE(info_csv.find("ENZYMES"), std::string::npos);
+}
+
+TEST(Report, MaybeWriteCsvHonoursEnv)
+{
+    ::unsetenv("GNNPERF_CSV_DIR");
+    maybeWriteCsv("should_not_exist.csv", "x\n");  // no-op
+    ::setenv("GNNPERF_CSV_DIR", "/tmp", 1);
+    maybeWriteCsv("gnnperf_report_test.csv", "a,b\n1,2\n");
+    std::ifstream in("/tmp/gnnperf_report_test.csv");
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "a,b\n1,2\n");
+    std::remove("/tmp/gnnperf_report_test.csv");
+    ::unsetenv("GNNPERF_CSV_DIR");
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * GnnModel base-class tests: layer-width arithmetic for node vs graph
+ * tasks, degree normalisation helper, forward preconditions, and
+ * parameter-count sanity across configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backends/backend.hh"
+#include "data/tu_dataset.hh"
+#include "models/gcn.hh"
+#include "models/model_factory.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+/** Expose the protected width helpers for testing. */
+class ProbeModel : public Gcn
+{
+  public:
+    using Gcn::Gcn;
+    using Gcn::isOutputLayer;
+    using Gcn::layerInWidth;
+    using Gcn::layerOutWidth;
+};
+
+ModelConfig
+config(bool graph_task)
+{
+    ModelConfig cfg;
+    cfg.inFeatures = 12;
+    cfg.hidden = 32;
+    cfg.numClasses = 5;
+    cfg.numLayers = graph_task ? 4 : 2;
+    cfg.graphTask = graph_task;
+    cfg.batchNorm = graph_task;
+    cfg.residual = graph_task;
+    cfg.seed = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(GnnModelBase, NodeTaskLayerWidths)
+{
+    ProbeModel m(getBackend(FrameworkKind::PyG), config(false));
+    EXPECT_EQ(m.layerInWidth(0), 12);   // dataset features
+    EXPECT_EQ(m.layerOutWidth(0), 32);  // hidden
+    EXPECT_EQ(m.layerInWidth(1), 32);
+    EXPECT_EQ(m.layerOutWidth(1), 5);   // classes
+    EXPECT_FALSE(m.isOutputLayer(0));
+    EXPECT_TRUE(m.isOutputLayer(1));
+}
+
+TEST(GnnModelBase, GraphTaskLayerWidths)
+{
+    ProbeModel m(getBackend(FrameworkKind::PyG), config(true));
+    for (int layer = 0; layer < 4; ++layer) {
+        EXPECT_EQ(m.layerInWidth(layer), 32);  // embedding precedes
+        EXPECT_EQ(m.layerOutWidth(layer), 32);
+        EXPECT_FALSE(m.isOutputLayer(layer));  // readout head follows
+    }
+}
+
+TEST(GnnModelBase, GraphTaskHasEmbedAndClassifier)
+{
+    auto model = makeModel(ModelKind::GCN,
+                           getBackend(FrameworkKind::PyG),
+                           config(true));
+    bool has_embed = false, has_classifier = false;
+    for (const auto &np : model->namedParameters()) {
+        if (np.name.rfind("embed.", 0) == 0)
+            has_embed = true;
+        if (np.name.rfind("classifier.", 0) == 0)
+            has_classifier = true;
+    }
+    EXPECT_TRUE(has_embed);
+    EXPECT_TRUE(has_classifier);
+}
+
+TEST(GnnModelBase, NodeTaskHasNeither)
+{
+    auto model = makeModel(ModelKind::GCN,
+                           getBackend(FrameworkKind::PyG),
+                           config(false));
+    for (const auto &np : model->namedParameters()) {
+        EXPECT_EQ(np.name.rfind("embed.", 0), std::string::npos);
+        EXPECT_EQ(np.name.rfind("classifier.", 0), std::string::npos);
+    }
+}
+
+TEST(GnnModelBase, ParameterCountMatchesArchitecture)
+{
+    // Node-task GCN: conv1 (12×32 + 32) + conv2 (32×5 + 5).
+    ModelConfig cfg = config(false);
+    cfg.dropout = 0.0f;
+    auto model = makeModel(ModelKind::GCN,
+                           getBackend(FrameworkKind::PyG), cfg);
+    EXPECT_EQ(model->parameterCount(),
+              12 * 32 + 32 + 32 * 5 + 5);
+    EXPECT_DOUBLE_EQ(model->parameterBytes(),
+                     model->parameterCount() * 4.0);
+}
+
+TEST(GnnModelBase, AnisotropicModelsHaveMoreParameters)
+{
+    // With matched widths, the gating/attention machinery adds
+    // parameters — part of why anisotropic models cost more.
+    ModelConfig cfg = config(true);
+    auto gcn = makeModel(ModelKind::GCN,
+                         getBackend(FrameworkKind::PyG), cfg);
+    auto gated = makeModel(ModelKind::GatedGCN,
+                           getBackend(FrameworkKind::PyG), cfg);
+    EXPECT_GT(gated->parameterCount(), 2 * gcn->parameterCount());
+}
+
+TEST(GnnModelBase, ForwardRequiresDeviceFeatures)
+{
+    auto model = makeModel(ModelKind::GCN,
+                           getBackend(FrameworkKind::PyG),
+                           config(false));
+    BatchedGraph batch;
+    batch.numNodes = 3;
+    batch.numGraphs = 1;
+    batch.x = Tensor::zeros({3, 12}, DeviceKind::Host);  // wrong device
+    batch.inDegrees = Tensor::zeros({3});
+    EXPECT_DEATH(model->forward(batch), "not on device");
+}
+
+TEST(GnnModelBase, DegreeNormalisationInForward)
+{
+    // A 2-node graph with one edge each way: deg = 1 everywhere, so
+    // GCN's normalisation is 1/sqrt(2) pre and post; a single conv
+    // layer with identity-ish weights stays finite and symmetric.
+    Graph g;
+    g.numNodes = 2;
+    g.x = Tensor::ones({2, 12}, DeviceKind::Host);
+    g.addUndirectedEdge(0, 1);
+    g.graphLabel = 0;
+    std::vector<const Graph *> members{&g};
+    BatchedGraph batch =
+        getBackend(FrameworkKind::PyG).collate(members);
+
+    ModelConfig cfg = config(false);
+    cfg.dropout = 0.0f;
+    auto model = makeModel(ModelKind::GCN,
+                           getBackend(FrameworkKind::PyG), cfg);
+    model->train(false);
+    Var out = model->forward(batch);
+    ASSERT_EQ(out.dim(0), 2);
+    // Symmetric inputs → identical rows.
+    for (int64_t j = 0; j < out.dim(1); ++j)
+        EXPECT_FLOAT_EQ(out.value().at(0, j), out.value().at(1, j));
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Graph structure tests: COO storage, CSR/CSC index construction,
+ * degrees, masks, batched-graph invariants and pseudo coordinates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backends/backend.hh"
+#include "graph/batched_graph.hh"
+#include "graph/graph.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+/** A 4-node path graph 0-1-2-3 with 2-dim features. */
+Graph
+pathGraph()
+{
+    Graph g;
+    g.numNodes = 4;
+    g.x = Tensor::fromVector({0, 1, 10, 11, 20, 21, 30, 31}, {4, 2},
+                             DeviceKind::Host);
+    g.addUndirectedEdge(0, 1);
+    g.addUndirectedEdge(1, 2);
+    g.addUndirectedEdge(2, 3);
+    g.graphLabel = 0;
+    return g;
+}
+
+} // namespace
+
+TEST(Graph, EdgeBookkeeping)
+{
+    Graph g = pathGraph();
+    EXPECT_EQ(g.numEdges(), 6);
+    EXPECT_EQ(g.edgeSrc[0], 0);
+    EXPECT_EQ(g.edgeDst[0], 1);
+    EXPECT_EQ(g.edgeSrc[1], 1);
+    EXPECT_EQ(g.edgeDst[1], 0);
+}
+
+TEST(Graph, InDegrees)
+{
+    Graph g = pathGraph();
+    Tensor deg = g.inDegrees();
+    EXPECT_FLOAT_EQ(deg.at(0), 1.0f);
+    EXPECT_FLOAT_EQ(deg.at(1), 2.0f);
+    EXPECT_FLOAT_EQ(deg.at(2), 2.0f);
+    EXPECT_FLOAT_EQ(deg.at(3), 1.0f);
+}
+
+TEST(Graph, MaskIndices)
+{
+    std::vector<uint8_t> mask{1, 0, 0, 1, 1};
+    auto idx = Graph::maskIndices(mask);
+    ASSERT_EQ(idx.size(), 3u);
+    EXPECT_EQ(idx[0], 0);
+    EXPECT_EQ(idx[2], 4);
+}
+
+TEST(CsrIndex, InIndexGroupsByDestination)
+{
+    Graph g = pathGraph();
+    CsrIndex in = buildInIndex(g.numNodes, g.edgeSrc, g.edgeDst);
+    EXPECT_EQ(in.numNodes(), 4);
+    EXPECT_EQ(in.numEdges(), 6);
+    // Node 1 receives from 0 and 2.
+    std::vector<int64_t> neighbors(
+        in.neighbor.begin() + in.ptr[1],
+        in.neighbor.begin() + in.ptr[2]);
+    std::sort(neighbors.begin(), neighbors.end());
+    EXPECT_EQ(neighbors, (std::vector<int64_t>{0, 2}));
+}
+
+TEST(CsrIndex, EdgeIdsMapBackToCoo)
+{
+    Graph g = pathGraph();
+    CsrIndex in = buildInIndex(g.numNodes, g.edgeSrc, g.edgeDst);
+    for (int64_t v = 0; v < 4; ++v) {
+        for (int64_t k = in.ptr[v]; k < in.ptr[v + 1]; ++k) {
+            const int64_t e = in.edgeId[static_cast<std::size_t>(k)];
+            EXPECT_EQ(g.edgeDst[static_cast<std::size_t>(e)], v);
+            EXPECT_EQ(g.edgeSrc[static_cast<std::size_t>(e)],
+                      in.neighbor[static_cast<std::size_t>(k)]);
+        }
+    }
+}
+
+TEST(CsrIndex, OutIndexGroupsBySource)
+{
+    Graph g = pathGraph();
+    CsrIndex out = buildOutIndex(g.numNodes, g.edgeSrc, g.edgeDst);
+    // Node 0 only points to node 1.
+    EXPECT_EQ(out.ptr[1] - out.ptr[0], 1);
+    EXPECT_EQ(out.neighbor[static_cast<std::size_t>(out.ptr[0])], 1);
+}
+
+TEST(CsrIndex, IsolatedNodesHaveEmptyRanges)
+{
+    std::vector<int64_t> src{0}, dst{2};
+    CsrIndex in = buildInIndex(4, src, dst);
+    EXPECT_EQ(in.ptr[1], in.ptr[0]);  // node 0: no in edges
+    EXPECT_EQ(in.ptr[4] - in.ptr[3], 0);
+    EXPECT_EQ(in.ptr[3] - in.ptr[2], 1);
+}
+
+TEST(BatchedGraph, EnsureIndexIdempotent)
+{
+    Graph g = pathGraph();
+    BatchedGraph batch;
+    batch.numNodes = g.numNodes;
+    batch.numGraphs = 1;
+    batch.edgeSrc = g.edgeSrc;
+    batch.edgeDst = g.edgeDst;
+    batch.ensureInIndex();
+    const CsrIndex *first = &*batch.inIndex;
+    batch.ensureInIndex();
+    EXPECT_EQ(&*batch.inIndex, first);
+}
+
+TEST(BatchedGraph, PseudoCoordinatesFromDegrees)
+{
+    Graph g = pathGraph();
+    std::vector<const Graph *> members{&g};
+    BatchedGraph batch =
+        getBackend(FrameworkKind::PyG).collate(members);
+    Tensor pseudo = batch.edgePseudoCoordinates();
+    ASSERT_EQ(pseudo.dim(0), 6);
+    ASSERT_EQ(pseudo.dim(1), 2);
+    // Edge 0: 0→1, deg(0)=1, deg(1)=2 → (1/sqrt2, 1/sqrt3).
+    EXPECT_NEAR(pseudo.at(0, 0), 1.0f / std::sqrt(2.0f), 1e-5);
+    EXPECT_NEAR(pseudo.at(0, 1), 1.0f / std::sqrt(3.0f), 1e-5);
+}
+
+TEST(BatchedGraph, FeatureBytes)
+{
+    Graph g = pathGraph();
+    std::vector<const Graph *> members{&g};
+    BatchedGraph batch =
+        getBackend(FrameworkKind::PyG).collate(members);
+    EXPECT_DOUBLE_EQ(batch.featureBytes(), 4 * 2 * sizeof(float));
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Matrix multiplication tests: correctness against a reference
+ * triple loop, transposed variants, and shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "tensor/init.hh"
+#include "tensor/matmul.hh"
+#include "tensor/ops.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+Tensor
+referenceMatmul(const Tensor &a, const Tensor &b)
+{
+    const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+    Tensor c = Tensor::zeros({n, m});
+    for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < m; ++j) {
+            double s = 0.0;
+            for (int64_t kk = 0; kk < k; ++kk)
+                s += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+            c.set(i, j, static_cast<float>(s));
+        }
+    return c;
+}
+
+void
+expectClose(const Tensor &a, const Tensor &b, float tol = 1e-4f)
+{
+    ASSERT_TRUE(a.sameShape(b));
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_NEAR(a.at(i), b.at(i), tol) << "at " << i;
+}
+
+} // namespace
+
+TEST(Matmul, SmallKnownValues)
+{
+    Tensor a = Tensor::fromVector({1, 2, 3, 4}, {2, 2});
+    Tensor b = Tensor::fromVector({5, 6, 7, 8}, {2, 2});
+    Tensor c = ops::matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Matmul, RectangularMatchesReference)
+{
+    Rng rng(3);
+    Tensor a = init::normal({17, 9}, 0.0f, 1.0f, rng);
+    Tensor b = init::normal({9, 23}, 0.0f, 1.0f, rng);
+    expectClose(ops::matmul(a, b), referenceMatmul(a, b));
+}
+
+TEST(Matmul, IdentityIsNeutral)
+{
+    Rng rng(5);
+    Tensor a = init::normal({6, 6}, 0.0f, 1.0f, rng);
+    Tensor eye = Tensor::zeros({6, 6});
+    for (int64_t i = 0; i < 6; ++i)
+        eye.set(i, i, 1.0f);
+    expectClose(ops::matmul(a, eye), a);
+    expectClose(ops::matmul(eye, a), a);
+}
+
+TEST(Matmul, TransAMatchesExplicitTranspose)
+{
+    Rng rng(7);
+    Tensor a = init::normal({11, 5}, 0.0f, 1.0f, rng);
+    Tensor b = init::normal({11, 8}, 0.0f, 1.0f, rng);
+    Tensor expected = ops::matmul(ops::transpose(a), b);
+    expectClose(ops::matmulTransA(a, b), expected);
+}
+
+TEST(Matmul, TransBMatchesExplicitTranspose)
+{
+    Rng rng(9);
+    Tensor a = init::normal({7, 13}, 0.0f, 1.0f, rng);
+    Tensor b = init::normal({10, 13}, 0.0f, 1.0f, rng);
+    Tensor expected = ops::matmul(a, ops::transpose(b));
+    expectClose(ops::matmulTransB(a, b), expected);
+}
+
+TEST(Matmul, ZeroSizedDims)
+{
+    Tensor a = Tensor::zeros({0, 4});
+    Tensor b = Tensor::zeros({4, 3});
+    Tensor c = ops::matmul(a, b);
+    EXPECT_EQ(c.dim(0), 0);
+    EXPECT_EQ(c.dim(1), 3);
+}
+
+TEST(Matmul, SparseInputSkipPreservesResult)
+{
+    // The kernel skips zero a-elements; results must be identical to
+    // the reference for sparse inputs (Cora features are mostly 0).
+    Rng rng(11);
+    Tensor a = Tensor::zeros({20, 30});
+    for (int64_t i = 0; i < a.numel(); ++i)
+        if (rng.bernoulli(0.05))
+            a.set(i, static_cast<float>(rng.normal()));
+    Tensor b = init::normal({30, 6}, 0.0f, 1.0f, rng);
+    expectClose(ops::matmul(a, b), referenceMatmul(a, b));
+}
+
+TEST(Init, GlorotBounds)
+{
+    Rng rng(13);
+    Tensor w = init::glorotUniform(100, 50, rng);
+    const float bound = std::sqrt(6.0f / 150.0f);
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        ASSERT_GE(w.at(i), -bound);
+        ASSERT_LE(w.at(i), bound);
+    }
+}
+
+TEST(Init, NormalMoments)
+{
+    Rng rng(15);
+    Tensor w = init::normal({200, 50}, 1.0f, 2.0f, rng);
+    double sum = 0.0;
+    for (int64_t i = 0; i < w.numel(); ++i)
+        sum += w.at(i);
+    EXPECT_NEAR(sum / w.numel(), 1.0, 0.05);
+}

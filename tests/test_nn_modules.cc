@@ -1,0 +1,227 @@
+/**
+ * @file
+ * NN module tests: Linear, BatchNorm1d (train/eval, running stats,
+ * gradcheck), Dropout, activations, MLPs, losses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/functions.hh"
+#include "autograd/grad_check.hh"
+#include "nn/activation.hh"
+#include "nn/batch_norm.hh"
+#include "nn/dropout.hh"
+#include "nn/linear.hh"
+#include "nn/loss.hh"
+#include "nn/mlp.hh"
+#include "tensor/init.hh"
+#include "tensor/ops.hh"
+
+using namespace gnnperf;
+using autograd::checkGradients;
+
+TEST(Linear, ShapesAndBias)
+{
+    Rng rng(1);
+    nn::Linear fc(4, 3, rng);
+    Var x(Tensor::ones({5, 4}));
+    Var y = fc.forward(x);
+    EXPECT_EQ(y.dim(0), 5);
+    EXPECT_EQ(y.dim(1), 3);
+    EXPECT_TRUE(fc.hasBias());
+    nn::Linear nb(4, 3, rng, /*bias=*/false);
+    EXPECT_FALSE(nb.hasBias());
+    EXPECT_EQ(fc.parameterCount(), 4 * 3 + 3);
+    EXPECT_EQ(nb.parameterCount(), 12);
+}
+
+TEST(Linear, GradCheck)
+{
+    Rng rng(2);
+    nn::Linear fc(3, 2, rng);
+    Rng xr(3);
+    Var x(init::normal({4, 3}, 0.0f, 1.0f, xr), true);
+    std::vector<Var> leaves = fc.parameters();
+    leaves.push_back(x);
+    auto r = checkGradients(
+        [&] { return fn::sumAll(fn::square(fc.forward(x))); }, leaves);
+    EXPECT_TRUE(r.ok) << r.maxRelError;
+}
+
+TEST(BatchNorm, NormalisesTrainBatch)
+{
+    nn::BatchNorm1d bn(3);
+    Rng rng(4);
+    Var x(init::normal({64, 3}, 5.0f, 2.0f, rng), true);
+    Var y = bn.forward(x);
+    Tensor mean = ops::meanRows(y.value());
+    Tensor var = ops::varRows(y.value(), mean);
+    for (int64_t j = 0; j < 3; ++j) {
+        EXPECT_NEAR(mean.at(j), 0.0f, 1e-4);
+        EXPECT_NEAR(var.at(j), 1.0f, 1e-3);
+    }
+}
+
+TEST(BatchNorm, RunningStatsConverge)
+{
+    nn::BatchNorm1d bn(2);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        Var x(init::normal({32, 2}, 3.0f, 1.0f, rng));
+        bn.forward(x);
+    }
+    EXPECT_NEAR(bn.runningMean().at(0), 3.0f, 0.15);
+    EXPECT_NEAR(bn.runningVar().at(0), 1.0f, 0.2);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats)
+{
+    nn::BatchNorm1d bn(1);
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i)
+        bn.forward(Var(init::normal({16, 1}, 2.0f, 1.0f, rng)));
+    bn.train(false);
+    // A constant eval input: y ≈ (x − runMean)/sqrt(runVar).
+    Var x(Tensor::full({4, 1}, 2.0f));
+    Var y = bn.forward(x);
+    EXPECT_NEAR(y.value().at(0), 0.0f, 0.2);
+}
+
+TEST(BatchNorm, GradCheckTrainMode)
+{
+    nn::BatchNorm1d bn(3);
+    Rng rng(7);
+    Var x(init::normal({8, 3}, 0.0f, 1.0f, rng), true);
+    std::vector<Var> leaves = bn.parameters();
+    leaves.push_back(x);
+    auto r = checkGradients(
+        [&] { return fn::sumAll(fn::square(bn.forward(x))); }, leaves,
+        1e-3f, 6e-2);
+    EXPECT_TRUE(r.ok) << r.maxRelError;
+}
+
+TEST(Dropout, EvalModeIsIdentity)
+{
+    Rng rng(8);
+    nn::Dropout drop(0.5f, rng);
+    drop.train(false);
+    Var x(Tensor::ones({8}));
+    Var y = drop.forward(x);
+    for (int64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(y.value().at(i), 1.0f);
+}
+
+TEST(Dropout, TrainModeDropsAboutP)
+{
+    Rng rng(9);
+    nn::Dropout drop(0.3f, rng);
+    Var x(Tensor::ones({4000}));
+    Var y = drop.forward(x);
+    int64_t zeros = 0;
+    for (int64_t i = 0; i < 4000; ++i)
+        zeros += y.value().at(i) == 0.0f ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(zeros) / 4000.0, 0.3, 0.04);
+}
+
+TEST(Activation, NamesRoundTrip)
+{
+    for (auto act : {nn::Activation::ReLU, nn::Activation::ELU,
+                     nn::Activation::Tanh, nn::Activation::Sigmoid}) {
+        EXPECT_EQ(nn::activationFromName(nn::activationName(act)), act);
+    }
+    EXPECT_EQ(nn::activationFromName("RELU"), nn::Activation::ReLU);
+}
+
+TEST(Activation, ApplyMatchesFunctions)
+{
+    Var x(Tensor::fromVector({-1.0f, 2.0f}, {2}));
+    Var y = nn::applyActivation(nn::Activation::ReLU, x);
+    EXPECT_EQ(y.value().at(0), 0.0f);
+    EXPECT_EQ(y.value().at(1), 2.0f);
+    Var n = nn::applyActivation(nn::Activation::None, x);
+    EXPECT_EQ(n.node().get(), x.node().get());
+}
+
+TEST(Mlp, StackShapes)
+{
+    Rng rng(10);
+    nn::Mlp mlp({8, 16, 4}, nn::Activation::ReLU, rng);
+    EXPECT_EQ(mlp.layerCount(), 2u);
+    Var x(Tensor::ones({3, 8}));
+    Var y = mlp.forward(x);
+    EXPECT_EQ(y.dim(1), 4);
+}
+
+TEST(MlpReadout, HalvingWidths)
+{
+    Rng rng(11);
+    nn::MlpReadout head(64, 5, rng, /*levels=*/2);
+    Var x(Tensor::ones({2, 64}));
+    Var y = head.forward(x);
+    EXPECT_EQ(y.dim(0), 2);
+    EXPECT_EQ(y.dim(1), 5);
+    // 64→32→16→5
+    EXPECT_EQ(head.parameterCount(),
+              64 * 32 + 32 + 32 * 16 + 16 + 16 * 5 + 5);
+}
+
+TEST(Module, NamedParametersHierarchy)
+{
+    Rng rng(12);
+    nn::Mlp mlp({4, 4, 4}, nn::Activation::ReLU, rng);
+    auto named = mlp.namedParameters();
+    ASSERT_EQ(named.size(), 4u);
+    EXPECT_EQ(named[0].name, "fc0.weight");
+    EXPECT_EQ(named[3].name, "fc1.bias");
+}
+
+TEST(Module, TrainModePropagates)
+{
+    Rng rng(13);
+    nn::Mlp mlp({4, 4}, nn::Activation::ReLU, rng);
+    EXPECT_TRUE(mlp.training());
+    mlp.train(false);
+    EXPECT_FALSE(mlp.training());
+    EXPECT_FALSE(mlp.layer(0).training());
+}
+
+TEST(Loss, CrossEntropyKnownValue)
+{
+    // Uniform logits over 4 classes → loss = ln 4.
+    Var logits(Tensor::zeros({2, 4}), true);
+    Var loss = nn::crossEntropy(logits, {1, 3});
+    EXPECT_NEAR(loss.item(), std::log(4.0), 1e-5);
+}
+
+TEST(Loss, PerfectPredictionLowLoss)
+{
+    Tensor t = Tensor::zeros({1, 3});
+    t.set(0, 2, 50.0f);
+    Var loss = nn::crossEntropy(Var(t), {2});
+    EXPECT_LT(loss.item(), 1e-4);
+}
+
+TEST(Loss, SubsetSelectsRows)
+{
+    Tensor t = Tensor::zeros({3, 2});
+    t.set(0, 0, 100.0f);  // row 0 predicts class 0 perfectly
+    t.set(1, 0, 100.0f);  // row 1 predicts class 0 but label is 1
+    Var all_wrong = nn::crossEntropy(Var(t), {0, 1, 0}, {1});
+    EXPECT_GT(all_wrong.item(), 50.0);
+    Var only_right = nn::crossEntropy(Var(t), {0, 1, 0}, {0});
+    EXPECT_LT(only_right.item(), 1e-4);
+}
+
+TEST(Loss, GradCheck)
+{
+    Rng rng(14);
+    Var logits(init::normal({4, 3}, 0.0f, 1.0f, rng), true);
+    std::vector<int64_t> targets{0, 2, 1, 2};
+    std::vector<int64_t> subset{0, 2, 3};
+    auto r = checkGradients(
+        [&] { return nn::crossEntropy(logits, targets, subset); },
+        {logits});
+    EXPECT_TRUE(r.ok) << r.maxRelError;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The paper's headline observations as executable assertions, at
+ * miniature scale. Each test names the section it reproduces; if one
+ * of these fails, the reproduction has lost a qualitative result —
+ * regardless of what the unit tests say.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+const GraphDataset &
+enzymesLike()
+{
+    static GraphDataset ds = makeEnzymes(5, 96);
+    return ds;
+}
+
+const FoldSplit &
+fold()
+{
+    static std::vector<FoldSplit> folds =
+        stratifiedKFold(enzymesLike().labels(), 10, 1);
+    return folds.front();
+}
+
+GraphTrainResult
+train(ModelKind kind, FrameworkKind fw, int epochs = 3,
+      int64_t batch = 32)
+{
+    TrainOptions opts;
+    opts.maxEpochs = epochs;
+    opts.batchSize = batch;
+    opts.seed = 2;
+    return trainGraphTask(kind, getBackend(fw), enzymesLike(), fold(),
+                          opts);
+}
+
+} // namespace
+
+// §IV-A/IV-B observation: "the implementations with framework PyG can
+// get the best training time performance for all models."
+TEST(PaperClaims, PygFasterThanDglForEveryModel)
+{
+    for (ModelKind kind : allModels()) {
+        GraphTrainResult pyg = train(kind, FrameworkKind::PyG);
+        GraphTrainResult dgl = train(kind, FrameworkKind::DGL);
+        EXPECT_LT(pyg.epochTime, dgl.epochTime) << modelName(kind);
+    }
+}
+
+// §IV-A observation 2: anisotropic models cost more per epoch than
+// isotropic ones (same framework, matched datasets).
+TEST(PaperClaims, AnisotropicModelsCostMore)
+{
+    const double iso =
+        std::min({train(ModelKind::GCN, FrameworkKind::PyG).epochTime,
+                  train(ModelKind::GIN, FrameworkKind::PyG).epochTime,
+                  train(ModelKind::GraphSage,
+                        FrameworkKind::PyG).epochTime});
+    for (ModelKind kind :
+         {ModelKind::GAT, ModelKind::MoNet, ModelKind::GatedGCN}) {
+        EXPECT_GT(train(kind, FrameworkKind::PyG).epochTime, iso)
+            << modelName(kind);
+    }
+}
+
+// §IV-A observation 3 / §IV-B observation 2: GatedGCN under DGL is
+// the slowest configuration, driven by the edge-feature updates.
+TEST(PaperClaims, GatedGcnDglIsTheWorstCell)
+{
+    const double gated_dgl =
+        train(ModelKind::GatedGCN, FrameworkKind::DGL).epochTime;
+    for (ModelKind kind : allModels()) {
+        for (FrameworkKind fw : allFrameworks()) {
+            if (kind == ModelKind::GatedGCN &&
+                fw == FrameworkKind::DGL) {
+                continue;
+            }
+            EXPECT_GE(gated_dgl, train(kind, fw).epochTime)
+                << modelName(kind) << "/" << frameworkName(fw);
+        }
+    }
+}
+
+// §IV-C: data loading takes a large share of graph-task epochs, and
+// DGL's is far larger than PyG's.
+TEST(PaperClaims, DataLoadingDominatesAndDglLoadsSlower)
+{
+    GraphTrainResult pyg = train(ModelKind::GCN, FrameworkKind::PyG);
+    GraphTrainResult dgl = train(ModelKind::GCN, FrameworkKind::DGL);
+    // Shares at this miniature scale are smaller than the Fig. 1
+    // bench's (43–88 %); the claim holds directionally.
+    EXPECT_GT(pyg.profile.breakdown.dataLoading,
+              0.18 * pyg.epochTime);
+    EXPECT_GT(dgl.profile.breakdown.dataLoading,
+              0.35 * dgl.epochTime);
+    EXPECT_GT(dgl.profile.breakdown.dataLoading,
+              2.0 * pyg.profile.breakdown.dataLoading);
+}
+
+// §IV-C: on small-graph data, doubling the batch size nearly halves
+// forward+backward time (dispatch-bound regime).
+TEST(PaperClaims, BatchDoublingHalvesComputeOnSmallGraphs)
+{
+    GraphTrainResult small = train(ModelKind::GCN, FrameworkKind::PyG,
+                                   3, 16);
+    GraphTrainResult big = train(ModelKind::GCN, FrameworkKind::PyG,
+                                 3, 32);
+    const double small_fb = small.profile.breakdown.forward +
+                            small.profile.breakdown.backward;
+    const double big_fb = big.profile.breakdown.forward +
+                          big.profile.breakdown.backward;
+    EXPECT_LT(big_fb, small_fb * 0.70);
+    EXPECT_GT(big_fb, small_fb * 0.35);
+}
+
+// §IV-D observations 4/5: GPU utilization is low (≲40 % here) and
+// lower under DGL than PyG.
+TEST(PaperClaims, UtilizationLowAndLowerUnderDgl)
+{
+    GraphTrainResult pyg = train(ModelKind::GCN, FrameworkKind::PyG);
+    GraphTrainResult dgl = train(ModelKind::GCN, FrameworkKind::DGL);
+    EXPECT_LT(pyg.profile.gpuUtilization, 0.45);
+    EXPECT_LT(dgl.profile.gpuUtilization,
+              pyg.profile.gpuUtilization);
+}
+
+// §IV-D observation 2: GatedGCN's memory under DGL far exceeds its
+// PyG variant (the all-edges FC layer).
+TEST(PaperClaims, GatedGcnMemoryBlowupUnderDgl)
+{
+    GraphTrainResult pyg =
+        train(ModelKind::GatedGCN, FrameworkKind::PyG);
+    GraphTrainResult dgl =
+        train(ModelKind::GatedGCN, FrameworkKind::DGL);
+    EXPECT_GT(dgl.profile.peakMemoryBytes,
+              static_cast<std::size_t>(
+                  1.2 * static_cast<double>(
+                            pyg.profile.peakMemoryBytes)));
+}
+
+// §III-C methodology: same network, same optimizer, same init — the
+// two frameworks produce statistically indistinguishable accuracy.
+// (Kernel summation orders differ between the scatter and fused
+// paths, so bit-identity is not guaranteed; a small tolerance covers
+// prediction flips from accumulated fp divergence.)
+TEST(PaperClaims, AccuracyMatchesAcrossFrameworks)
+{
+    for (ModelKind kind :
+         {ModelKind::GCN, ModelKind::GIN, ModelKind::GAT}) {
+        GraphTrainResult pyg = train(kind, FrameworkKind::PyG, 5);
+        GraphTrainResult dgl = train(kind, FrameworkKind::DGL, 5);
+        EXPECT_NEAR(pyg.testAccuracy, dgl.testAccuracy, 0.12)
+            << modelName(kind);
+    }
+}

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Property-based sweeps (parameterised gtest): invariants that must
+ * hold on random graphs of many shapes and sizes.
+ *
+ *  - fused GSpMM kernels ≡ gather+scatter compositions;
+ *  - aggregation linearity and adjoint (transpose) identities;
+ *  - edge softmax: normalisation, positivity, shift invariance;
+ *  - pooling: segment reduction ≡ scatter pooling on contiguous
+ *    batches; pooled mean of constant features is that constant;
+ *  - collation: PyG and DGL batches are structurally identical for
+ *    any batch composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backends/backend.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "data/tu_dataset.hh"
+#include "graph/edge_softmax.hh"
+#include "graph/scatter.hh"
+#include "graph/segment.hh"
+#include "graph/spmm.hh"
+#include "tensor/init.hh"
+#include "tensor/ops.hh"
+
+using namespace gnnperf;
+using namespace gnnperf::graphops;
+
+namespace {
+
+/** Random-graph test case: nodes, edges, feature width, heads. */
+struct GraphCase
+{
+    int64_t nodes;
+    int64_t edges;
+    int64_t features;
+    int64_t heads;
+    uint64_t seed;
+};
+
+/** COO edges drawn uniformly (self loops allowed, duplicates too —
+ *  kernels must handle both). */
+struct RandomGraph
+{
+    std::vector<int64_t> src, dst;
+    CsrIndex in, out;
+    Tensor x;
+
+    explicit RandomGraph(const GraphCase &c)
+    {
+        Rng rng(c.seed);
+        src.reserve(static_cast<std::size_t>(c.edges));
+        dst.reserve(static_cast<std::size_t>(c.edges));
+        for (int64_t e = 0; e < c.edges; ++e) {
+            src.push_back(static_cast<int64_t>(
+                rng.uniformInt(static_cast<uint64_t>(c.nodes))));
+            dst.push_back(static_cast<int64_t>(
+                rng.uniformInt(static_cast<uint64_t>(c.nodes))));
+        }
+        in = buildInIndex(c.nodes, src, dst);
+        out = buildOutIndex(c.nodes, src, dst);
+        x = init::normal({c.nodes, c.features}, 0.0f, 1.0f, rng);
+    }
+};
+
+void
+expectClose(const Tensor &a, const Tensor &b, float tol = 2e-4f)
+{
+    ASSERT_TRUE(a.sameShape(b));
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_NEAR(a.at(i), b.at(i), tol) << "element " << i;
+}
+
+} // namespace
+
+class GraphPropertyTest : public ::testing::TestWithParam<GraphCase>
+{
+};
+
+TEST_P(GraphPropertyTest, FusedSumEqualsScatterComposition)
+{
+    RandomGraph g(GetParam());
+    Tensor fused = spmmCopyUSum(g.in, g.x);
+    Tensor composed = ops::scatterAddRows(ops::gatherRows(g.x, g.src),
+                                          g.dst, GetParam().nodes);
+    expectClose(fused, composed);
+}
+
+TEST_P(GraphPropertyTest, FusedMeanEqualsScatterComposition)
+{
+    RandomGraph g(GetParam());
+    Tensor fused = spmmCopyUMean(g.in, g.x);
+    Tensor composed = scatterMeanRows(ops::gatherRows(g.x, g.src),
+                                      g.dst, GetParam().nodes);
+    expectClose(fused, composed);
+}
+
+TEST_P(GraphPropertyTest, FusedMaxEqualsScatterComposition)
+{
+    RandomGraph g(GetParam());
+    std::vector<int64_t> arg_a, arg_b;
+    Tensor fused = spmmCopyUMax(g.in, g.x, arg_a);
+    Tensor composed = scatterMaxRows(ops::gatherRows(g.x, g.src),
+                                     g.dst, GetParam().nodes, arg_b);
+    expectClose(fused, composed);
+}
+
+TEST_P(GraphPropertyTest, AggregationIsLinear)
+{
+    RandomGraph g(GetParam());
+    Rng rng(GetParam().seed + 1);
+    Tensor y = init::normal(g.x.shape(), 0.0f, 1.0f, rng);
+    // A(2x + y) == 2A(x) + A(y)
+    Tensor lhs = spmmCopyUSum(
+        g.in, ops::add(ops::scale(g.x, 2.0f), y));
+    Tensor rhs = ops::add(ops::scale(spmmCopyUSum(g.in, g.x), 2.0f),
+                          spmmCopyUSum(g.in, y));
+    expectClose(lhs, rhs, 1e-3f);
+}
+
+TEST_P(GraphPropertyTest, TransposeAdjointIdentity)
+{
+    // <y, A x> == <Aᵀ y, x> for any x, y.
+    RandomGraph g(GetParam());
+    Rng rng(GetParam().seed + 2);
+    Tensor y = init::normal(g.x.shape(), 0.0f, 1.0f, rng);
+    Tensor ax = spmmCopyUSum(g.in, g.x);
+    Tensor aty = spmmCopyUSum(g.out, y);
+    double lhs = 0.0, rhs = 0.0;
+    for (int64_t i = 0; i < ax.numel(); ++i) {
+        lhs += static_cast<double>(y.at(i)) * ax.at(i);
+        rhs += static_cast<double>(aty.at(i)) * g.x.at(i);
+    }
+    EXPECT_NEAR(lhs, rhs, std::max(1.0, std::abs(lhs)) * 1e-4);
+}
+
+TEST_P(GraphPropertyTest, WeightedWithUnitWeightsEqualsSum)
+{
+    RandomGraph g(GetParam());
+    const auto &c = GetParam();
+    Tensor ones = Tensor::ones(
+        {static_cast<int64_t>(g.src.size()), c.heads});
+    gnnperf_assert(c.features % c.heads == 0, "bad case");
+    Tensor weighted = spmmUMulESum(g.in, g.x, ones, c.heads);
+    Tensor summed = spmmCopyUSum(g.in, g.x);
+    expectClose(weighted, summed);
+}
+
+TEST_P(GraphPropertyTest, EdgeSoftmaxRowsSumToOne)
+{
+    RandomGraph g(GetParam());
+    const auto &c = GetParam();
+    Rng rng(c.seed + 3);
+    Tensor logits = init::normal(
+        {static_cast<int64_t>(g.src.size()), c.heads}, 0.0f, 2.0f,
+        rng);
+    Tensor alpha = edgeSoftmaxFused(g.in, logits);
+    // Per destination and head: Σ alpha = 1 (when any in-edge).
+    std::vector<std::vector<double>> sums(
+        static_cast<std::size_t>(c.nodes),
+        std::vector<double>(static_cast<std::size_t>(c.heads), 0.0));
+    for (std::size_t e = 0; e < g.dst.size(); ++e)
+        for (int64_t h = 0; h < c.heads; ++h) {
+            ASSERT_GT(alpha.at(static_cast<int64_t>(e), h), 0.0f);
+            sums[static_cast<std::size_t>(g.dst[e])]
+                [static_cast<std::size_t>(h)] +=
+                alpha.at(static_cast<int64_t>(e), h);
+        }
+    for (int64_t v = 0; v < c.nodes; ++v) {
+        if (g.in.ptr[v] == g.in.ptr[v + 1])
+            continue;
+        for (int64_t h = 0; h < c.heads; ++h)
+            ASSERT_NEAR(sums[static_cast<std::size_t>(v)]
+                            [static_cast<std::size_t>(h)], 1.0, 1e-4);
+    }
+}
+
+TEST_P(GraphPropertyTest, DegreeSumConservation)
+{
+    // Column sums of A(x) equal degree-weighted column sums of x:
+    // Σ_v A(x)[v] = Σ_e x[src_e] (conservation of mass).
+    RandomGraph g(GetParam());
+    Tensor agg = spmmCopyUSum(g.in, g.x);
+    Tensor lhs = ops::sumRows(agg);
+    Tensor gathered = ops::gatherRows(g.x, g.src);
+    Tensor rhs = ops::sumRows(gathered);
+    expectClose(lhs, rhs,
+                2e-3f * static_cast<float>(GetParam().edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphSweep, GraphPropertyTest,
+    ::testing::Values(GraphCase{1, 1, 4, 1, 11},
+                      GraphCase{5, 3, 2, 2, 12},     // isolated nodes
+                      GraphCase{16, 64, 8, 4, 13},
+                      GraphCase{40, 40, 6, 2, 14},   // sparse
+                      GraphCase{64, 512, 12, 4, 15}, // dense-ish
+                      GraphCase{128, 256, 16, 8, 16},
+                      GraphCase{7, 49, 9, 3, 17}),
+    [](const auto &info) {
+        return "n" + std::to_string(info.param.nodes) + "_e" +
+               std::to_string(info.param.edges) + "_f" +
+               std::to_string(info.param.features) + "_h" +
+               std::to_string(info.param.heads);
+    });
+
+// ----- pooling properties ---------------------------------------------------
+
+class PoolingPropertyTest
+    : public ::testing::TestWithParam<std::vector<int64_t>>
+{
+};
+
+TEST_P(PoolingPropertyTest, SegmentEqualsScatterPooling)
+{
+    const std::vector<int64_t> &sizes = GetParam();
+    std::vector<int64_t> ptr{0};
+    std::vector<int64_t> node_graph;
+    for (std::size_t gi = 0; gi < sizes.size(); ++gi) {
+        ptr.push_back(ptr.back() + sizes[gi]);
+        for (int64_t i = 0; i < sizes[gi]; ++i)
+            node_graph.push_back(static_cast<int64_t>(gi));
+    }
+    Rng rng(99);
+    Tensor x = init::normal({ptr.back(), 5}, 0.0f, 1.0f, rng);
+
+    Tensor seg = segmentMean(x, ptr);
+    Tensor sums = ops::scatterAddRows(
+        x, node_graph, static_cast<int64_t>(sizes.size()));
+    Tensor counts = indexCounts(node_graph,
+                                static_cast<int64_t>(sizes.size()));
+    for (int64_t i = 0; i < counts.numel(); ++i)
+        if (counts.at(i) == 0.0f)
+            counts.set(i, 1.0f);
+    Tensor scatter_pool = ops::divCols(sums, counts);
+    expectClose(seg, scatter_pool);
+}
+
+TEST_P(PoolingPropertyTest, MeanOfConstantIsConstant)
+{
+    const std::vector<int64_t> &sizes = GetParam();
+    std::vector<int64_t> ptr{0};
+    for (int64_t s : sizes)
+        ptr.push_back(ptr.back() + s);
+    Tensor x = Tensor::full({ptr.back(), 3}, 2.5f);
+    Tensor seg = segmentMean(x, ptr);
+    for (std::size_t gi = 0; gi < sizes.size(); ++gi) {
+        if (sizes[gi] == 0)
+            continue;
+        for (int64_t j = 0; j < 3; ++j)
+            ASSERT_FLOAT_EQ(seg.at(static_cast<int64_t>(gi), j), 2.5f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SegmentSweep, PoolingPropertyTest,
+    ::testing::Values(std::vector<int64_t>{1},
+                      std::vector<int64_t>{3, 3, 3},
+                      std::vector<int64_t>{1, 7, 2, 9},
+                      std::vector<int64_t>{0, 4, 0, 5},  // empty segs
+                      std::vector<int64_t>{20, 1, 1, 1, 40}),
+    [](const auto &info) {
+        std::string name = "segs";
+        for (int64_t s : info.param)
+            name += "_" + std::to_string(s);
+        return name;
+    });
+
+// ----- collation properties -------------------------------------------------
+
+class CollationPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CollationPropertyTest, BackendsAgreeOnAnyBatchComposition)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    GraphDataset ds = makeEnzymes(static_cast<uint64_t>(GetParam()),
+                                  20);
+    // Random subset in random order.
+    std::vector<int64_t> order(20);
+    for (int64_t i = 0; i < 20; ++i)
+        order[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(order);
+    const std::size_t take = 1 + rng.uniformInt(uint64_t{19});
+    std::vector<const Graph *> members;
+    for (std::size_t i = 0; i < take; ++i)
+        members.push_back(&ds.graphs[static_cast<std::size_t>(
+            order[i])]);
+
+    BatchedGraph pyg = getBackend(FrameworkKind::PyG).collate(members);
+    BatchedGraph dgl = getBackend(FrameworkKind::DGL).collate(members);
+    ASSERT_EQ(pyg.numNodes, dgl.numNodes);
+    ASSERT_EQ(pyg.edgeSrc, dgl.edgeSrc);
+    ASSERT_EQ(pyg.edgeDst, dgl.edgeDst);
+    ASSERT_EQ(pyg.graphPtr, dgl.graphPtr);
+    ASSERT_EQ(pyg.graphLabels, dgl.graphLabels);
+    for (int64_t i = 0; i < pyg.x.numel(); ++i)
+        ASSERT_FLOAT_EQ(pyg.x.at(i), dgl.x.at(i));
+    for (int64_t i = 0; i < pyg.numNodes; ++i)
+        ASSERT_FLOAT_EQ(pyg.inDegrees.at(i), dgl.inDegrees.at(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBatches, CollationPropertyTest,
+                         ::testing::Range(1, 9));

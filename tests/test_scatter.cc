@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scatter kernel tests (the PyG-side primitives).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/scatter.hh"
+#include "tensor/ops.hh"
+
+using namespace gnnperf;
+using namespace gnnperf::graphops;
+
+TEST(Scatter, IndexCounts)
+{
+    Tensor counts = indexCounts({0, 2, 2, 2}, 4);
+    EXPECT_FLOAT_EQ(counts.at(0), 1.0f);
+    EXPECT_FLOAT_EQ(counts.at(1), 0.0f);
+    EXPECT_FLOAT_EQ(counts.at(2), 3.0f);
+    EXPECT_FLOAT_EQ(counts.at(3), 0.0f);
+}
+
+TEST(Scatter, MeanAveragesContributions)
+{
+    Tensor src = Tensor::fromVector({1, 2, 3, 4, 5, 6}, {3, 2});
+    Tensor out = scatterMeanRows(src, {1, 1, 0}, 2);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 2.0f);  // (1+3)/2
+    EXPECT_FLOAT_EQ(out.at(1, 1), 3.0f);  // (2+4)/2
+}
+
+TEST(Scatter, MeanEmptyRowsAreZero)
+{
+    Tensor src = Tensor::ones({1, 2});
+    Tensor out = scatterMeanRows(src, {2}, 4);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(2, 0), 1.0f);
+}
+
+TEST(Scatter, MaxPicksWinnersAndArgmax)
+{
+    Tensor src = Tensor::fromVector({1, 9, 5, 2, 3, 4}, {3, 2});
+    std::vector<int64_t> argmax;
+    Tensor out = scatterMaxRows(src, {0, 0, 0}, 1, argmax);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 9.0f);
+    EXPECT_EQ(argmax[0], 1);  // row 1 wins column 0
+    EXPECT_EQ(argmax[1], 0);  // row 0 wins column 1
+}
+
+TEST(Scatter, MaxEmptyRowsZeroWithNegInputs)
+{
+    Tensor src = Tensor::full({2, 1}, -5.0f);
+    std::vector<int64_t> argmax;
+    Tensor out = scatterMaxRows(src, {0, 0}, 3, argmax);
+    EXPECT_FLOAT_EQ(out.at(0, 0), -5.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 0.0f);
+    EXPECT_EQ(argmax[1], -1);
+}
+
+TEST(Scatter, MaxBackwardRoutesToWinners)
+{
+    Tensor src = Tensor::fromVector({1, 9, 5, 2}, {2, 2});
+    std::vector<int64_t> argmax;
+    scatterMaxRows(src, {0, 0}, 1, argmax);
+    Tensor grad = Tensor::fromVector({10, 20}, {1, 2});
+    Tensor back = scatterMaxBackward(grad, argmax, 2);
+    EXPECT_FLOAT_EQ(back.at(0, 0), 0.0f);   // row 0 lost col 0
+    EXPECT_FLOAT_EQ(back.at(0, 1), 20.0f);  // row 0 won col 1
+    EXPECT_FLOAT_EQ(back.at(1, 0), 10.0f);  // row 1 won col 0
+    EXPECT_FLOAT_EQ(back.at(1, 1), 0.0f);
+}
+
+TEST(Scatter, AddMatchesManualSum)
+{
+    Tensor src = Tensor::fromVector({1, 2, 3, 4, 5, 6}, {3, 2});
+    Tensor out = ops::scatterAddRows(src, {1, 1, 1}, 2);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 9.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 1), 12.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);
+}

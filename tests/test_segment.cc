@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Segment-reduction tests (DGL's pooling primitive).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/segment.hh"
+#include "tensor/ops.hh"
+
+using namespace gnnperf;
+using namespace gnnperf::graphops;
+
+TEST(Segment, MeanOverRanges)
+{
+    Tensor x = Tensor::fromVector({1, 2, 3, 4, 5, 6}, {3, 2});
+    Tensor out = segmentMean(x, {0, 2, 3});
+    EXPECT_FLOAT_EQ(out.at(0, 0), 2.0f);  // (1+3)/2
+    EXPECT_FLOAT_EQ(out.at(0, 1), 3.0f);  // (2+4)/2
+    EXPECT_FLOAT_EQ(out.at(1, 0), 5.0f);
+}
+
+TEST(Segment, SumOverRanges)
+{
+    Tensor x = Tensor::fromVector({1, 2, 3, 4}, {2, 2});
+    Tensor out = segmentSum(x, {0, 2});
+    EXPECT_FLOAT_EQ(out.at(0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 6.0f);
+}
+
+TEST(Segment, EmptySegmentsAreZero)
+{
+    Tensor x = Tensor::ones({2, 1});
+    Tensor out = segmentMean(x, {0, 0, 2, 2});
+    EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(2, 0), 0.0f);
+}
+
+TEST(Segment, MeanBackwardBroadcastsScaled)
+{
+    Tensor grad = Tensor::fromVector({6, 12}, {2, 1});
+    Tensor back = segmentMeanBackward(grad, {0, 3, 4});
+    EXPECT_FLOAT_EQ(back.at(0, 0), 2.0f);  // 6/3
+    EXPECT_FLOAT_EQ(back.at(2, 0), 2.0f);
+    EXPECT_FLOAT_EQ(back.at(3, 0), 12.0f);
+}
+
+TEST(Segment, SumBackwardBroadcastsRaw)
+{
+    Tensor grad = Tensor::fromVector({5}, {1, 1});
+    Tensor back = segmentSumBackward(grad, {0, 3});
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(back.at(i, 0), 5.0f);
+}
+
+TEST(Segment, MeanGradientIdentity)
+{
+    // <g, segmentMean(x)> == <segmentMeanBackward(g), x>.
+    Tensor x = Tensor::fromVector({1, 2, 3, 4, 5, 6, 7, 8}, {4, 2});
+    std::vector<int64_t> ptr{0, 1, 4};
+    Tensor g = Tensor::fromVector({1, -1, 2, 0.5}, {2, 2});
+    Tensor fwd = segmentMean(x, ptr);
+    Tensor back = segmentMeanBackward(g, ptr);
+    double lhs = 0.0, rhs = 0.0;
+    for (int64_t i = 0; i < fwd.numel(); ++i)
+        lhs += static_cast<double>(g.at(i)) * fwd.at(i);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        rhs += static_cast<double>(back.at(i)) * x.at(i);
+    EXPECT_NEAR(lhs, rhs, 1e-5);
+}

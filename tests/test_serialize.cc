@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Checkpoint serialization tests: round trips for plain modules and
+ * full GNN models (including batch-norm running statistics), plus
+ * corruption/mismatch failure paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "backends/backend.hh"
+#include "data/tu_dataset.hh"
+#include "models/model_factory.hh"
+#include "nn/batch_norm.hh"
+#include "nn/mlp.hh"
+#include "nn/serialize.hh"
+#include "tensor/init.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+BatchedGraph
+tinyBatch()
+{
+    static GraphDataset ds = makeEnzymes(55, 10);
+    std::vector<const Graph *> graphs;
+    for (const Graph &g : ds.graphs)
+        graphs.push_back(&g);
+    return getBackend(FrameworkKind::PyG).collate(graphs);
+}
+
+ModelConfig
+tinyConfig(uint64_t seed)
+{
+    ModelConfig cfg;
+    cfg.inFeatures = 18;
+    cfg.hidden = 8;
+    cfg.numClasses = 6;
+    cfg.numLayers = 2;
+    cfg.heads = 2;
+    cfg.graphTask = true;
+    cfg.batchNorm = true;
+    cfg.residual = true;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Serialize, MlpRoundTripInMemory)
+{
+    Rng rng(1);
+    nn::Mlp a({4, 8, 3}, nn::Activation::ReLU, rng);
+    Rng rng2(2);
+    nn::Mlp b({4, 8, 3}, nn::Activation::ReLU, rng2);
+
+    std::string bytes = nn::serializeModule(a);
+    nn::deserializeModule(b, bytes);
+
+    auto pa = a.namedParameters();
+    auto pb = b.namedParameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        const Tensor &ta = pa[i].var.value();
+        const Tensor &tb = pb[i].var.value();
+        for (int64_t j = 0; j < ta.numel(); ++j)
+            ASSERT_FLOAT_EQ(ta.at(j), tb.at(j)) << pa[i].name;
+    }
+}
+
+TEST(Serialize, BatchNormBuffersIncluded)
+{
+    nn::BatchNorm1d a(3);
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i)
+        a.forward(Var(init::normal({16, 3}, 4.0f, 1.0f, rng)));
+
+    nn::BatchNorm1d b(3);
+    nn::deserializeModule(b, nn::serializeModule(a));
+    for (int64_t j = 0; j < 3; ++j) {
+        EXPECT_FLOAT_EQ(b.runningMean().at(j), a.runningMean().at(j));
+        EXPECT_FLOAT_EQ(b.runningVar().at(j), a.runningVar().at(j));
+    }
+}
+
+TEST(Serialize, FullModelFileRoundTripPreservesForward)
+{
+    BatchedGraph batch = tinyBatch();
+    auto a = makeModel(ModelKind::GIN, getBackend(FrameworkKind::PyG),
+                       tinyConfig(7));
+    auto b = makeModel(ModelKind::GIN, getBackend(FrameworkKind::PyG),
+                       tinyConfig(8));  // different init
+
+    const std::string path = "/tmp/gnnperf_ckpt_test.bin";
+    nn::saveCheckpoint(*a, path);
+    nn::loadCheckpoint(*b, path);
+    std::remove(path.c_str());
+
+    a->train(false);
+    b->train(false);
+    Var ya = a->forward(batch);
+    Var yb = b->forward(batch);
+    for (int64_t i = 0; i < ya.numel(); ++i)
+        ASSERT_FLOAT_EQ(ya.value().at(i), yb.value().at(i));
+}
+
+TEST(Serialize, AllModelsRoundTrip)
+{
+    for (ModelKind kind : allModels()) {
+        auto a = makeModel(kind, getBackend(FrameworkKind::DGL),
+                           tinyConfig(9));
+        auto b = makeModel(kind, getBackend(FrameworkKind::DGL),
+                           tinyConfig(10));
+        nn::deserializeModule(*b, nn::serializeModule(*a));
+        auto pa = a->namedParameters();
+        auto pb = b->namedParameters();
+        ASSERT_EQ(pa.size(), pb.size());
+        for (std::size_t i = 0; i < pa.size(); ++i)
+            ASSERT_FLOAT_EQ(pa[i].var.value().at(0),
+                            pb[i].var.value().at(0))
+                << modelName(kind) << " " << pa[i].name;
+    }
+}
+
+TEST(SerializeDeath, RejectsGarbage)
+{
+    Rng rng(4);
+    nn::Mlp m({2, 2}, nn::Activation::ReLU, rng);
+    EXPECT_DEATH(nn::deserializeModule(m, "not a checkpoint"),
+                 "not a gnnperf checkpoint");
+}
+
+TEST(SerializeDeath, RejectsTruncated)
+{
+    Rng rng(5);
+    nn::Mlp m({2, 2}, nn::Activation::ReLU, rng);
+    std::string bytes = nn::serializeModule(m);
+    bytes.resize(bytes.size() / 2);
+    EXPECT_DEATH(nn::deserializeModule(m, bytes), "truncated");
+}
+
+TEST(SerializeDeath, RejectsArchitectureMismatch)
+{
+    Rng rng(6);
+    nn::Mlp small({2, 2}, nn::Activation::ReLU, rng);
+    nn::Mlp big({2, 4, 2}, nn::Activation::ReLU, rng);
+    std::string bytes = nn::serializeModule(small);
+    EXPECT_DEATH(nn::deserializeModule(big, bytes), "entries");
+}
+
+TEST(SerializeDeath, RejectsShapeMismatch)
+{
+    Rng rng(7);
+    nn::Mlp a({2, 3}, nn::Activation::ReLU, rng);
+    nn::Mlp b({3, 2}, nn::Activation::ReLU, rng);
+    std::string bytes = nn::serializeModule(a);
+    EXPECT_DEATH(nn::deserializeModule(b, bytes), "shape mismatch");
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Stratified split tests (paper §IV-B.1: 10-fold, 8:1:1, class
+ * distribution preserved, indices fixed across experiments).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/splits.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+std::vector<int64_t>
+balancedLabels(int64_t n, int64_t classes)
+{
+    std::vector<int64_t> labels(static_cast<std::size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        labels[static_cast<std::size_t>(i)] = i % classes;
+    return labels;
+}
+
+} // namespace
+
+TEST(KFold, PartitionsEverySample)
+{
+    auto labels = balancedLabels(100, 5);
+    auto folds = stratifiedKFold(labels, 10, 1);
+    ASSERT_EQ(folds.size(), 10u);
+    for (const auto &fold : folds) {
+        std::set<int64_t> seen;
+        for (auto idx : fold.train)
+            seen.insert(idx);
+        for (auto idx : fold.val)
+            seen.insert(idx);
+        for (auto idx : fold.test)
+            seen.insert(idx);
+        EXPECT_EQ(seen.size(), 100u);
+        EXPECT_EQ(fold.train.size() + fold.val.size() +
+                      fold.test.size(), 100u);
+    }
+}
+
+TEST(KFold, RatioRoughly811)
+{
+    auto labels = balancedLabels(600, 6);
+    auto folds = stratifiedKFold(labels, 10, 1);
+    for (const auto &fold : folds) {
+        EXPECT_NEAR(static_cast<double>(fold.train.size()), 480.0, 6.0);
+        EXPECT_NEAR(static_cast<double>(fold.val.size()), 60.0, 6.0);
+        EXPECT_NEAR(static_cast<double>(fold.test.size()), 60.0, 6.0);
+    }
+}
+
+TEST(KFold, TestSetsDisjointAcrossFolds)
+{
+    auto labels = balancedLabels(100, 4);
+    auto folds = stratifiedKFold(labels, 10, 1);
+    std::set<int64_t> all_test;
+    for (const auto &fold : folds)
+        for (auto idx : fold.test) {
+            EXPECT_TRUE(all_test.insert(idx).second)
+                << "index " << idx << " in two test sets";
+        }
+    EXPECT_EQ(all_test.size(), 100u);
+}
+
+TEST(KFold, Stratified)
+{
+    auto labels = balancedLabels(600, 6);
+    auto folds = stratifiedKFold(labels, 10, 1);
+    for (const auto &fold : folds) {
+        std::map<int64_t, int> per_class;
+        for (auto idx : fold.test)
+            ++per_class[labels[static_cast<std::size_t>(idx)]];
+        for (const auto &[cls, count] : per_class)
+            EXPECT_NEAR(count, 10, 2);
+    }
+}
+
+TEST(KFold, DeterministicAcrossCalls)
+{
+    auto labels = balancedLabels(50, 5);
+    auto a = stratifiedKFold(labels, 5, 9);
+    auto b = stratifiedKFold(labels, 5, 9);
+    for (std::size_t f = 0; f < a.size(); ++f)
+        EXPECT_EQ(a[f].train, b[f].train);
+    auto c = stratifiedKFold(labels, 5, 10);
+    EXPECT_NE(a[0].train, c[0].train);
+}
+
+TEST(StratifiedSplit, FractionsRespected)
+{
+    auto labels = balancedLabels(1000, 10);
+    FoldSplit split = stratifiedSplit(labels, 0.8, 0.1, 3);
+    EXPECT_NEAR(static_cast<double>(split.train.size()), 800.0, 10.0);
+    EXPECT_NEAR(static_cast<double>(split.val.size()), 100.0, 10.0);
+    EXPECT_NEAR(static_cast<double>(split.test.size()), 100.0, 10.0);
+}
+
+TEST(StratifiedSplit, CoversAllSamplesOnce)
+{
+    auto labels = balancedLabels(97, 3);  // non-divisible count
+    FoldSplit split = stratifiedSplit(labels, 0.7, 0.15, 3);
+    std::set<int64_t> seen;
+    for (auto idx : split.train)
+        EXPECT_TRUE(seen.insert(idx).second);
+    for (auto idx : split.val)
+        EXPECT_TRUE(seen.insert(idx).second);
+    for (auto idx : split.test)
+        EXPECT_TRUE(seen.insert(idx).second);
+    EXPECT_EQ(seen.size(), 97u);
+}

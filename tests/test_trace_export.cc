@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Trace export tests: Chrome JSON validity/shape, CSV contents,
+ * kernel summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "device/trace_export.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+Trace
+sampleTrace()
+{
+    Trace trace;
+    trace.addHost({"collate", HostOpKind::MetaBuild, 100.0, 4.0,
+                   Phase::DataLoading, -1});
+    trace.addKernel({"sgemm", 2e6, 1e5, Phase::Forward, 0});
+    trace.addKernel({"sgemm", 4e6, 2e5, Phase::Forward, 1});
+    trace.addKernel({"relu", 1e3, 8e3, Phase::Forward, 1});
+    trace.addKernel({"adam_update", 1e4, 4e4, Phase::Update, -1});
+    return trace;
+}
+
+} // namespace
+
+TEST(ChromeTrace, BalancedBracketsAndTracks)
+{
+    std::string json = traceToChromeJson(sampleTrace(),
+                                         CostModel::defaultModel(),
+                                         30e-6);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.size() - 2], ']');
+    int braces = 0;
+    for (char c : json) {
+        if (c == '{')
+            ++braces;
+        if (c == '}')
+            --braces;
+        ASSERT_GE(braces, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_NE(json.find("\"name\":\"host\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"gpu stream\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"sgemm\""), std::string::npos);
+    EXPECT_NE(json.find("launch sgemm"), std::string::npos);
+}
+
+TEST(ChromeTrace, EventCountMatchesTrace)
+{
+    std::string json = traceToChromeJson(sampleTrace(),
+                                         CostModel::defaultModel(),
+                                         30e-6);
+    // Per kernel: launch slice + kernel slice; per host op: one
+    // slice; plus 3 metadata events.
+    std::size_t events = 0;
+    for (std::size_t pos = 0;
+         (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;
+         ++pos)
+        ++events;
+    EXPECT_EQ(events, 4u * 2u + 1u);
+}
+
+TEST(ChromeTrace, TimestampsMonotoneOnHostTrack)
+{
+    std::string json = traceToChromeJson(sampleTrace(),
+                                         CostModel::defaultModel(),
+                                         30e-6);
+    double last_ts = -1.0;
+    for (std::size_t pos = 0;
+         (pos = json.find("\"tid\":1,\"ts\":", pos)) !=
+         std::string::npos; ++pos) {
+        const double ts = std::strtod(json.c_str() + pos + 14, nullptr);
+        EXPECT_GE(ts, last_ts);
+        last_ts = ts;
+    }
+    EXPECT_GT(last_ts, 0.0);
+}
+
+TEST(TimelineCsv, ContainsAllPhasesAndTotal)
+{
+    TimelineResult t = Timeline::replay(sampleTrace(),
+                                        CostModel::defaultModel(),
+                                        30e-6);
+    std::string csv = timelineToCsv(t);
+    EXPECT_NE(csv.find("data_loading,"), std::string::npos);
+    EXPECT_NE(csv.find("forward,"), std::string::npos);
+    EXPECT_NE(csv.find("update,"), std::string::npos);
+    EXPECT_NE(csv.find("total,"), std::string::npos);
+    // Header + 6 phases + total = 8 lines.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 8);
+}
+
+TEST(KernelSummary, AggregatesByName)
+{
+    auto rows = summarizeKernels(sampleTrace(),
+                                 CostModel::defaultModel());
+    ASSERT_EQ(rows.size(), 3u);
+    const KernelSummaryRow *sgemm = nullptr;
+    for (const auto &row : rows)
+        if (row.name == "sgemm")
+            sgemm = &row;
+    ASSERT_NE(sgemm, nullptr);
+    EXPECT_EQ(sgemm->count, 2u);
+    EXPECT_DOUBLE_EQ(sgemm->flops, 6e6);
+    EXPECT_DOUBLE_EQ(sgemm->bytes, 3e5);
+    EXPECT_GT(sgemm->gpuSeconds, 0.0);
+}
+
+TEST(KernelSummary, SortedByGpuTimeDescending)
+{
+    auto rows = summarizeKernels(sampleTrace(),
+                                 CostModel::defaultModel());
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        EXPECT_GE(rows[i - 1].gpuSeconds, rows[i].gpuSeconds);
+}
+
+TEST(KernelSummary, CsvRoundTrip)
+{
+    auto rows = summarizeKernels(sampleTrace(),
+                                 CostModel::defaultModel());
+    std::string csv = kernelSummaryToCsv(rows);
+    EXPECT_NE(csv.find("kernel,count,flops,bytes,gpu_seconds"),
+              std::string::npos);
+    EXPECT_NE(csv.find("sgemm,2,"), std::string::npos);
+}
+
+TEST(WriteFile, RoundTrip)
+{
+    const std::string path = "/tmp/gnnperf_test_writefile.txt";
+    writeFile(path, "hello\nworld\n");
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "hello\nworld\n");
+    std::remove(path.c_str());
+}
