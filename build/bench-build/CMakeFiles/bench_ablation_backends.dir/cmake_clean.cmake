@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_backends"
+  "../bench/bench_ablation_backends.pdb"
+  "CMakeFiles/bench_ablation_backends.dir/bench_ablation_backends.cc.o"
+  "CMakeFiles/bench_ablation_backends.dir/bench_ablation_backends.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_breakdown_enzymes"
+  "../bench/bench_fig1_breakdown_enzymes.pdb"
+  "CMakeFiles/bench_fig1_breakdown_enzymes.dir/bench_fig1_breakdown_enzymes.cc.o"
+  "CMakeFiles/bench_fig1_breakdown_enzymes.dir/bench_fig1_breakdown_enzymes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_breakdown_enzymes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_breakdown_dd"
+  "../bench/bench_fig2_breakdown_dd.pdb"
+  "CMakeFiles/bench_fig2_breakdown_dd.dir/bench_fig2_breakdown_dd.cc.o"
+  "CMakeFiles/bench_fig2_breakdown_dd.dir/bench_fig2_breakdown_dd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_breakdown_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_layerwise"
+  "../bench/bench_fig3_layerwise.pdb"
+  "CMakeFiles/bench_fig3_layerwise.dir/bench_fig3_layerwise.cc.o"
+  "CMakeFiles/bench_fig3_layerwise.dir/bench_fig3_layerwise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

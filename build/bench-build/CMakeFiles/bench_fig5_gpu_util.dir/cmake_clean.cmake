@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_gpu_util"
+  "../bench/bench_fig5_gpu_util.pdb"
+  "CMakeFiles/bench_fig5_gpu_util.dir/bench_fig5_gpu_util.cc.o"
+  "CMakeFiles/bench_fig5_gpu_util.dir/bench_fig5_gpu_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_multigpu"
+  "../bench/bench_fig6_multigpu.pdb"
+  "CMakeFiles/bench_fig6_multigpu.dir/bench_fig6_multigpu.cc.o"
+  "CMakeFiles/bench_fig6_multigpu.dir/bench_fig6_multigpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kernels_micro"
+  "../bench/bench_kernels_micro.pdb"
+  "CMakeFiles/bench_kernels_micro.dir/bench_kernels_micro.cc.o"
+  "CMakeFiles/bench_kernels_micro.dir/bench_kernels_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernels_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

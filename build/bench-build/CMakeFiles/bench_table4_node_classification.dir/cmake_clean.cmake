@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_node_classification"
+  "../bench/bench_table4_node_classification.pdb"
+  "CMakeFiles/bench_table4_node_classification.dir/bench_table4_node_classification.cc.o"
+  "CMakeFiles/bench_table4_node_classification.dir/bench_table4_node_classification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_node_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

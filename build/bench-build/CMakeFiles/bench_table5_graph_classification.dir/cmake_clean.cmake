@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_graph_classification"
+  "../bench/bench_table5_graph_classification.pdb"
+  "CMakeFiles/bench_table5_graph_classification.dir/bench_table5_graph_classification.cc.o"
+  "CMakeFiles/bench_table5_graph_classification.dir/bench_table5_graph_classification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_graph_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_node_classification.dir/citation_node_classification.cpp.o"
+  "CMakeFiles/citation_node_classification.dir/citation_node_classification.cpp.o.d"
+  "citation_node_classification"
+  "citation_node_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_node_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

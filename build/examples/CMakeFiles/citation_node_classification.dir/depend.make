@@ -1,0 +1,2 @@
+# Empty dependencies file for citation_node_classification.
+# This may be replaced when dependencies are built.

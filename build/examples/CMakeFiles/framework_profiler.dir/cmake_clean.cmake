@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_profiler.dir/framework_profiler.cpp.o"
+  "CMakeFiles/framework_profiler.dir/framework_profiler.cpp.o.d"
+  "framework_profiler"
+  "framework_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

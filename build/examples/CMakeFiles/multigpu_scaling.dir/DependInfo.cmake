@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multigpu_scaling.cpp" "examples/CMakeFiles/multigpu_scaling.dir/multigpu_scaling.cpp.o" "gcc" "examples/CMakeFiles/multigpu_scaling.dir/multigpu_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnnperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

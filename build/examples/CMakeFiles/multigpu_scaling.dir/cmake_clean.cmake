@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigpu_scaling.dir/multigpu_scaling.cpp.o"
+  "CMakeFiles/multigpu_scaling.dir/multigpu_scaling.cpp.o.d"
+  "multigpu_scaling"
+  "multigpu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

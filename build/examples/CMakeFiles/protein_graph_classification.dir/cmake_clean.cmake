@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_graph_classification.dir/protein_graph_classification.cpp.o"
+  "CMakeFiles/protein_graph_classification.dir/protein_graph_classification.cpp.o.d"
+  "protein_graph_classification"
+  "protein_graph_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_graph_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

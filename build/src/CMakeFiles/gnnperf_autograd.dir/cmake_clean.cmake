@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnperf_autograd.dir/autograd/functions.cc.o"
+  "CMakeFiles/gnnperf_autograd.dir/autograd/functions.cc.o.d"
+  "CMakeFiles/gnnperf_autograd.dir/autograd/grad_check.cc.o"
+  "CMakeFiles/gnnperf_autograd.dir/autograd/grad_check.cc.o.d"
+  "CMakeFiles/gnnperf_autograd.dir/autograd/variable.cc.o"
+  "CMakeFiles/gnnperf_autograd.dir/autograd/variable.cc.o.d"
+  "libgnnperf_autograd.a"
+  "libgnnperf_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnperf_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/backend.cc" "src/CMakeFiles/gnnperf_backends.dir/backends/backend.cc.o" "gcc" "src/CMakeFiles/gnnperf_backends.dir/backends/backend.cc.o.d"
+  "/root/repo/src/backends/dgl/dgl_collate.cc" "src/CMakeFiles/gnnperf_backends.dir/backends/dgl/dgl_collate.cc.o" "gcc" "src/CMakeFiles/gnnperf_backends.dir/backends/dgl/dgl_collate.cc.o.d"
+  "/root/repo/src/backends/dgl/dgl_ops.cc" "src/CMakeFiles/gnnperf_backends.dir/backends/dgl/dgl_ops.cc.o" "gcc" "src/CMakeFiles/gnnperf_backends.dir/backends/dgl/dgl_ops.cc.o.d"
+  "/root/repo/src/backends/dgl/hetero_graph.cc" "src/CMakeFiles/gnnperf_backends.dir/backends/dgl/hetero_graph.cc.o" "gcc" "src/CMakeFiles/gnnperf_backends.dir/backends/dgl/hetero_graph.cc.o.d"
+  "/root/repo/src/backends/pyg/pyg_collate.cc" "src/CMakeFiles/gnnperf_backends.dir/backends/pyg/pyg_collate.cc.o" "gcc" "src/CMakeFiles/gnnperf_backends.dir/backends/pyg/pyg_collate.cc.o.d"
+  "/root/repo/src/backends/pyg/pyg_ops.cc" "src/CMakeFiles/gnnperf_backends.dir/backends/pyg/pyg_ops.cc.o" "gcc" "src/CMakeFiles/gnnperf_backends.dir/backends/pyg/pyg_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnnperf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

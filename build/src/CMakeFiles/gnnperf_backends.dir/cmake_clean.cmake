@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnperf_backends.dir/backends/backend.cc.o"
+  "CMakeFiles/gnnperf_backends.dir/backends/backend.cc.o.d"
+  "CMakeFiles/gnnperf_backends.dir/backends/dgl/dgl_collate.cc.o"
+  "CMakeFiles/gnnperf_backends.dir/backends/dgl/dgl_collate.cc.o.d"
+  "CMakeFiles/gnnperf_backends.dir/backends/dgl/dgl_ops.cc.o"
+  "CMakeFiles/gnnperf_backends.dir/backends/dgl/dgl_ops.cc.o.d"
+  "CMakeFiles/gnnperf_backends.dir/backends/dgl/hetero_graph.cc.o"
+  "CMakeFiles/gnnperf_backends.dir/backends/dgl/hetero_graph.cc.o.d"
+  "CMakeFiles/gnnperf_backends.dir/backends/pyg/pyg_collate.cc.o"
+  "CMakeFiles/gnnperf_backends.dir/backends/pyg/pyg_collate.cc.o.d"
+  "CMakeFiles/gnnperf_backends.dir/backends/pyg/pyg_ops.cc.o"
+  "CMakeFiles/gnnperf_backends.dir/backends/pyg/pyg_ops.cc.o.d"
+  "libgnnperf_backends.a"
+  "libgnnperf_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnperf_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/gnnperf_common.dir/common/env.cc.o" "gcc" "src/CMakeFiles/gnnperf_common.dir/common/env.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/gnnperf_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/gnnperf_common.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/gnnperf_common.dir/common/random.cc.o" "gcc" "src/CMakeFiles/gnnperf_common.dir/common/random.cc.o.d"
+  "/root/repo/src/common/string_utils.cc" "src/CMakeFiles/gnnperf_common.dir/common/string_utils.cc.o" "gcc" "src/CMakeFiles/gnnperf_common.dir/common/string_utils.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/gnnperf_common.dir/common/table.cc.o" "gcc" "src/CMakeFiles/gnnperf_common.dir/common/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnperf_common.dir/common/env.cc.o"
+  "CMakeFiles/gnnperf_common.dir/common/env.cc.o.d"
+  "CMakeFiles/gnnperf_common.dir/common/logging.cc.o"
+  "CMakeFiles/gnnperf_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/gnnperf_common.dir/common/random.cc.o"
+  "CMakeFiles/gnnperf_common.dir/common/random.cc.o.d"
+  "CMakeFiles/gnnperf_common.dir/common/string_utils.cc.o"
+  "CMakeFiles/gnnperf_common.dir/common/string_utils.cc.o.d"
+  "CMakeFiles/gnnperf_common.dir/common/table.cc.o"
+  "CMakeFiles/gnnperf_common.dir/common/table.cc.o.d"
+  "libgnnperf_common.a"
+  "libgnnperf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnperf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

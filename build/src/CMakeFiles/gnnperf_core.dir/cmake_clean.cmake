@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnperf_core.dir/core/config.cc.o"
+  "CMakeFiles/gnnperf_core.dir/core/config.cc.o.d"
+  "CMakeFiles/gnnperf_core.dir/core/evaluator.cc.o"
+  "CMakeFiles/gnnperf_core.dir/core/evaluator.cc.o.d"
+  "CMakeFiles/gnnperf_core.dir/core/experiment.cc.o"
+  "CMakeFiles/gnnperf_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/gnnperf_core.dir/core/report.cc.o"
+  "CMakeFiles/gnnperf_core.dir/core/report.cc.o.d"
+  "CMakeFiles/gnnperf_core.dir/core/trainer.cc.o"
+  "CMakeFiles/gnnperf_core.dir/core/trainer.cc.o.d"
+  "libgnnperf_core.a"
+  "libgnnperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/citation.cc" "src/CMakeFiles/gnnperf_data.dir/data/citation.cc.o" "gcc" "src/CMakeFiles/gnnperf_data.dir/data/citation.cc.o.d"
+  "/root/repo/src/data/dataloader.cc" "src/CMakeFiles/gnnperf_data.dir/data/dataloader.cc.o" "gcc" "src/CMakeFiles/gnnperf_data.dir/data/dataloader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/gnnperf_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/gnnperf_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/mnist_superpixel.cc" "src/CMakeFiles/gnnperf_data.dir/data/mnist_superpixel.cc.o" "gcc" "src/CMakeFiles/gnnperf_data.dir/data/mnist_superpixel.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/gnnperf_data.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/gnnperf_data.dir/data/splits.cc.o.d"
+  "/root/repo/src/data/tu_dataset.cc" "src/CMakeFiles/gnnperf_data.dir/data/tu_dataset.cc.o" "gcc" "src/CMakeFiles/gnnperf_data.dir/data/tu_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnnperf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnperf_data.dir/data/citation.cc.o"
+  "CMakeFiles/gnnperf_data.dir/data/citation.cc.o.d"
+  "CMakeFiles/gnnperf_data.dir/data/dataloader.cc.o"
+  "CMakeFiles/gnnperf_data.dir/data/dataloader.cc.o.d"
+  "CMakeFiles/gnnperf_data.dir/data/dataset.cc.o"
+  "CMakeFiles/gnnperf_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/gnnperf_data.dir/data/mnist_superpixel.cc.o"
+  "CMakeFiles/gnnperf_data.dir/data/mnist_superpixel.cc.o.d"
+  "CMakeFiles/gnnperf_data.dir/data/splits.cc.o"
+  "CMakeFiles/gnnperf_data.dir/data/splits.cc.o.d"
+  "CMakeFiles/gnnperf_data.dir/data/tu_dataset.cc.o"
+  "CMakeFiles/gnnperf_data.dir/data/tu_dataset.cc.o.d"
+  "libgnnperf_data.a"
+  "libgnnperf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnperf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

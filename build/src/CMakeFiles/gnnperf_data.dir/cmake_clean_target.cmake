@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnnperf_data.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/cost_model.cc" "src/CMakeFiles/gnnperf_device.dir/device/cost_model.cc.o" "gcc" "src/CMakeFiles/gnnperf_device.dir/device/cost_model.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/CMakeFiles/gnnperf_device.dir/device/device.cc.o" "gcc" "src/CMakeFiles/gnnperf_device.dir/device/device.cc.o.d"
+  "/root/repo/src/device/multi_gpu.cc" "src/CMakeFiles/gnnperf_device.dir/device/multi_gpu.cc.o" "gcc" "src/CMakeFiles/gnnperf_device.dir/device/multi_gpu.cc.o.d"
+  "/root/repo/src/device/profiler.cc" "src/CMakeFiles/gnnperf_device.dir/device/profiler.cc.o" "gcc" "src/CMakeFiles/gnnperf_device.dir/device/profiler.cc.o.d"
+  "/root/repo/src/device/timeline.cc" "src/CMakeFiles/gnnperf_device.dir/device/timeline.cc.o" "gcc" "src/CMakeFiles/gnnperf_device.dir/device/timeline.cc.o.d"
+  "/root/repo/src/device/trace.cc" "src/CMakeFiles/gnnperf_device.dir/device/trace.cc.o" "gcc" "src/CMakeFiles/gnnperf_device.dir/device/trace.cc.o.d"
+  "/root/repo/src/device/trace_export.cc" "src/CMakeFiles/gnnperf_device.dir/device/trace_export.cc.o" "gcc" "src/CMakeFiles/gnnperf_device.dir/device/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnnperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnperf_device.dir/device/cost_model.cc.o"
+  "CMakeFiles/gnnperf_device.dir/device/cost_model.cc.o.d"
+  "CMakeFiles/gnnperf_device.dir/device/device.cc.o"
+  "CMakeFiles/gnnperf_device.dir/device/device.cc.o.d"
+  "CMakeFiles/gnnperf_device.dir/device/multi_gpu.cc.o"
+  "CMakeFiles/gnnperf_device.dir/device/multi_gpu.cc.o.d"
+  "CMakeFiles/gnnperf_device.dir/device/profiler.cc.o"
+  "CMakeFiles/gnnperf_device.dir/device/profiler.cc.o.d"
+  "CMakeFiles/gnnperf_device.dir/device/timeline.cc.o"
+  "CMakeFiles/gnnperf_device.dir/device/timeline.cc.o.d"
+  "CMakeFiles/gnnperf_device.dir/device/trace.cc.o"
+  "CMakeFiles/gnnperf_device.dir/device/trace.cc.o.d"
+  "CMakeFiles/gnnperf_device.dir/device/trace_export.cc.o"
+  "CMakeFiles/gnnperf_device.dir/device/trace_export.cc.o.d"
+  "libgnnperf_device.a"
+  "libgnnperf_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnperf_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/batched_graph.cc" "src/CMakeFiles/gnnperf_graph.dir/graph/batched_graph.cc.o" "gcc" "src/CMakeFiles/gnnperf_graph.dir/graph/batched_graph.cc.o.d"
+  "/root/repo/src/graph/edge_softmax.cc" "src/CMakeFiles/gnnperf_graph.dir/graph/edge_softmax.cc.o" "gcc" "src/CMakeFiles/gnnperf_graph.dir/graph/edge_softmax.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/gnnperf_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/gnnperf_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/scatter.cc" "src/CMakeFiles/gnnperf_graph.dir/graph/scatter.cc.o" "gcc" "src/CMakeFiles/gnnperf_graph.dir/graph/scatter.cc.o.d"
+  "/root/repo/src/graph/segment.cc" "src/CMakeFiles/gnnperf_graph.dir/graph/segment.cc.o" "gcc" "src/CMakeFiles/gnnperf_graph.dir/graph/segment.cc.o.d"
+  "/root/repo/src/graph/spmm.cc" "src/CMakeFiles/gnnperf_graph.dir/graph/spmm.cc.o" "gcc" "src/CMakeFiles/gnnperf_graph.dir/graph/spmm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnnperf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnperf_graph.dir/graph/batched_graph.cc.o"
+  "CMakeFiles/gnnperf_graph.dir/graph/batched_graph.cc.o.d"
+  "CMakeFiles/gnnperf_graph.dir/graph/edge_softmax.cc.o"
+  "CMakeFiles/gnnperf_graph.dir/graph/edge_softmax.cc.o.d"
+  "CMakeFiles/gnnperf_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/gnnperf_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/gnnperf_graph.dir/graph/scatter.cc.o"
+  "CMakeFiles/gnnperf_graph.dir/graph/scatter.cc.o.d"
+  "CMakeFiles/gnnperf_graph.dir/graph/segment.cc.o"
+  "CMakeFiles/gnnperf_graph.dir/graph/segment.cc.o.d"
+  "CMakeFiles/gnnperf_graph.dir/graph/spmm.cc.o"
+  "CMakeFiles/gnnperf_graph.dir/graph/spmm.cc.o.d"
+  "libgnnperf_graph.a"
+  "libgnnperf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnperf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

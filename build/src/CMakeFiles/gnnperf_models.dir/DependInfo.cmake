@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/gat.cc" "src/CMakeFiles/gnnperf_models.dir/models/gat.cc.o" "gcc" "src/CMakeFiles/gnnperf_models.dir/models/gat.cc.o.d"
+  "/root/repo/src/models/gated_gcn.cc" "src/CMakeFiles/gnnperf_models.dir/models/gated_gcn.cc.o" "gcc" "src/CMakeFiles/gnnperf_models.dir/models/gated_gcn.cc.o.d"
+  "/root/repo/src/models/gcn.cc" "src/CMakeFiles/gnnperf_models.dir/models/gcn.cc.o" "gcc" "src/CMakeFiles/gnnperf_models.dir/models/gcn.cc.o.d"
+  "/root/repo/src/models/gin.cc" "src/CMakeFiles/gnnperf_models.dir/models/gin.cc.o" "gcc" "src/CMakeFiles/gnnperf_models.dir/models/gin.cc.o.d"
+  "/root/repo/src/models/gnn_model.cc" "src/CMakeFiles/gnnperf_models.dir/models/gnn_model.cc.o" "gcc" "src/CMakeFiles/gnnperf_models.dir/models/gnn_model.cc.o.d"
+  "/root/repo/src/models/graphsage.cc" "src/CMakeFiles/gnnperf_models.dir/models/graphsage.cc.o" "gcc" "src/CMakeFiles/gnnperf_models.dir/models/graphsage.cc.o.d"
+  "/root/repo/src/models/model_factory.cc" "src/CMakeFiles/gnnperf_models.dir/models/model_factory.cc.o" "gcc" "src/CMakeFiles/gnnperf_models.dir/models/model_factory.cc.o.d"
+  "/root/repo/src/models/monet.cc" "src/CMakeFiles/gnnperf_models.dir/models/monet.cc.o" "gcc" "src/CMakeFiles/gnnperf_models.dir/models/monet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnnperf_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnperf_models.dir/models/gat.cc.o"
+  "CMakeFiles/gnnperf_models.dir/models/gat.cc.o.d"
+  "CMakeFiles/gnnperf_models.dir/models/gated_gcn.cc.o"
+  "CMakeFiles/gnnperf_models.dir/models/gated_gcn.cc.o.d"
+  "CMakeFiles/gnnperf_models.dir/models/gcn.cc.o"
+  "CMakeFiles/gnnperf_models.dir/models/gcn.cc.o.d"
+  "CMakeFiles/gnnperf_models.dir/models/gin.cc.o"
+  "CMakeFiles/gnnperf_models.dir/models/gin.cc.o.d"
+  "CMakeFiles/gnnperf_models.dir/models/gnn_model.cc.o"
+  "CMakeFiles/gnnperf_models.dir/models/gnn_model.cc.o.d"
+  "CMakeFiles/gnnperf_models.dir/models/graphsage.cc.o"
+  "CMakeFiles/gnnperf_models.dir/models/graphsage.cc.o.d"
+  "CMakeFiles/gnnperf_models.dir/models/model_factory.cc.o"
+  "CMakeFiles/gnnperf_models.dir/models/model_factory.cc.o.d"
+  "CMakeFiles/gnnperf_models.dir/models/monet.cc.o"
+  "CMakeFiles/gnnperf_models.dir/models/monet.cc.o.d"
+  "libgnnperf_models.a"
+  "libgnnperf_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnperf_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

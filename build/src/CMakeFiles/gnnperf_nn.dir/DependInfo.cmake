@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/gnnperf_nn.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/gnnperf_nn.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/batch_norm.cc" "src/CMakeFiles/gnnperf_nn.dir/nn/batch_norm.cc.o" "gcc" "src/CMakeFiles/gnnperf_nn.dir/nn/batch_norm.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/gnnperf_nn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/gnnperf_nn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/gnnperf_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/gnnperf_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/gnnperf_nn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/gnnperf_nn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/lr_scheduler.cc" "src/CMakeFiles/gnnperf_nn.dir/nn/lr_scheduler.cc.o" "gcc" "src/CMakeFiles/gnnperf_nn.dir/nn/lr_scheduler.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/gnnperf_nn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/gnnperf_nn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/gnnperf_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/gnnperf_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/gnnperf_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/gnnperf_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/gnnperf_nn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/gnnperf_nn.dir/nn/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnnperf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

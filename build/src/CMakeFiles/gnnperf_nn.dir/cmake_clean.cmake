@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnperf_nn.dir/nn/activation.cc.o"
+  "CMakeFiles/gnnperf_nn.dir/nn/activation.cc.o.d"
+  "CMakeFiles/gnnperf_nn.dir/nn/batch_norm.cc.o"
+  "CMakeFiles/gnnperf_nn.dir/nn/batch_norm.cc.o.d"
+  "CMakeFiles/gnnperf_nn.dir/nn/dropout.cc.o"
+  "CMakeFiles/gnnperf_nn.dir/nn/dropout.cc.o.d"
+  "CMakeFiles/gnnperf_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/gnnperf_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/gnnperf_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/gnnperf_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/gnnperf_nn.dir/nn/lr_scheduler.cc.o"
+  "CMakeFiles/gnnperf_nn.dir/nn/lr_scheduler.cc.o.d"
+  "CMakeFiles/gnnperf_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/gnnperf_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/gnnperf_nn.dir/nn/module.cc.o"
+  "CMakeFiles/gnnperf_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/gnnperf_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/gnnperf_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/gnnperf_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/gnnperf_nn.dir/nn/serialize.cc.o.d"
+  "libgnnperf_nn.a"
+  "libgnnperf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnperf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/init.cc" "src/CMakeFiles/gnnperf_tensor.dir/tensor/init.cc.o" "gcc" "src/CMakeFiles/gnnperf_tensor.dir/tensor/init.cc.o.d"
+  "/root/repo/src/tensor/matmul.cc" "src/CMakeFiles/gnnperf_tensor.dir/tensor/matmul.cc.o" "gcc" "src/CMakeFiles/gnnperf_tensor.dir/tensor/matmul.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/gnnperf_tensor.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/gnnperf_tensor.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/gnnperf_tensor.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/gnnperf_tensor.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gnnperf_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gnnperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnperf_tensor.dir/tensor/init.cc.o"
+  "CMakeFiles/gnnperf_tensor.dir/tensor/init.cc.o.d"
+  "CMakeFiles/gnnperf_tensor.dir/tensor/matmul.cc.o"
+  "CMakeFiles/gnnperf_tensor.dir/tensor/matmul.cc.o.d"
+  "CMakeFiles/gnnperf_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/gnnperf_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/gnnperf_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/gnnperf_tensor.dir/tensor/tensor.cc.o.d"
+  "libgnnperf_tensor.a"
+  "libgnnperf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnperf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ablation.dir/test_ablation.cc.o"
+  "CMakeFiles/test_ablation.dir/test_ablation.cc.o.d"
+  "test_ablation"
+  "test_ablation.pdb"
+  "test_ablation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

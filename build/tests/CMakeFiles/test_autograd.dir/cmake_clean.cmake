@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autograd.dir/test_autograd.cc.o"
+  "CMakeFiles/test_autograd.dir/test_autograd.cc.o.d"
+  "test_autograd"
+  "test_autograd.pdb"
+  "test_autograd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

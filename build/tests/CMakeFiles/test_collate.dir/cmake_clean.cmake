@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collate.dir/test_collate.cc.o"
+  "CMakeFiles/test_collate.dir/test_collate.cc.o.d"
+  "test_collate"
+  "test_collate.pdb"
+  "test_collate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataloader.dir/test_dataloader.cc.o"
+  "CMakeFiles/test_dataloader.dir/test_dataloader.cc.o.d"
+  "test_dataloader"
+  "test_dataloader.pdb"
+  "test_dataloader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataloader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

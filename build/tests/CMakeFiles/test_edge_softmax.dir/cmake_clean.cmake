@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_softmax.dir/test_edge_softmax.cc.o"
+  "CMakeFiles/test_edge_softmax.dir/test_edge_softmax.cc.o.d"
+  "test_edge_softmax"
+  "test_edge_softmax.pdb"
+  "test_edge_softmax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

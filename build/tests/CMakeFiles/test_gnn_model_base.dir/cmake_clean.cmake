@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnn_model_base.dir/test_gnn_model_base.cc.o"
+  "CMakeFiles/test_gnn_model_base.dir/test_gnn_model_base.cc.o.d"
+  "test_gnn_model_base"
+  "test_gnn_model_base.pdb"
+  "test_gnn_model_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnn_model_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

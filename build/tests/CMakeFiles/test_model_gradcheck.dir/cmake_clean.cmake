@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_gradcheck.dir/test_model_gradcheck.cc.o"
+  "CMakeFiles/test_model_gradcheck.dir/test_model_gradcheck.cc.o.d"
+  "test_model_gradcheck"
+  "test_model_gradcheck.pdb"
+  "test_model_gradcheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_gradcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

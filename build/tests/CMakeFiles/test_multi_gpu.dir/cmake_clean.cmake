@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_gpu.dir/test_multi_gpu.cc.o"
+  "CMakeFiles/test_multi_gpu.dir/test_multi_gpu.cc.o.d"
+  "test_multi_gpu"
+  "test_multi_gpu.pdb"
+  "test_multi_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

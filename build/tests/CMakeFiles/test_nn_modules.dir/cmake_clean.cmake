@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_modules.dir/test_nn_modules.cc.o"
+  "CMakeFiles/test_nn_modules.dir/test_nn_modules.cc.o.d"
+  "test_nn_modules"
+  "test_nn_modules.pdb"
+  "test_nn_modules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

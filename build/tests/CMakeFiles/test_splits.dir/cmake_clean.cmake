@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splits.dir/test_splits.cc.o"
+  "CMakeFiles/test_splits.dir/test_splits.cc.o.d"
+  "test_splits"
+  "test_splits.pdb"
+  "test_splits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

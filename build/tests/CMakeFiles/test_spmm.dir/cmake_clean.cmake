@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmm.dir/test_spmm.cc.o"
+  "CMakeFiles/test_spmm.dir/test_spmm.cc.o.d"
+  "test_spmm"
+  "test_spmm.pdb"
+  "test_spmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
