@@ -29,6 +29,7 @@ using namespace gnnperf::bench;
 int
 main()
 {
+    StatsScope stats_scope("ablation");
     banner("Ablations — collation fast path & kernel fusion",
            "paper §IV-C analysis / §V optimisation suggestions");
     const int epochs = static_cast<int>(envEpochs(2, 5));

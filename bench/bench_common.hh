@@ -14,6 +14,7 @@
 #include "common/env.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "obs/stats.hh"
 
 namespace gnnperf {
 namespace bench {
@@ -30,6 +31,27 @@ banner(const char *what, const char *paper_ref)
                 fullScale() ? "full" : "smoke");
     std::printf("==============================================\n\n");
 }
+
+/**
+ * Opt-in stats collection for a bench main: GNNPERF_STATS=1 turns
+ * sampling on for the process, and at scope exit the registry's JSON /
+ * CSV / event-log artifacts land in GNNPERF_CSV_DIR (when set) under
+ * the given prefix. Declare one at the top of main().
+ */
+class StatsScope
+{
+  public:
+    explicit StatsScope(const char *prefix) : prefix_(prefix)
+    {
+        if (envInt("GNNPERF_STATS", 0) != 0)
+            stats::setSamplingEnabled(true);
+    }
+
+    ~StatsScope() { maybeWriteStatsArtifacts(prefix_); }
+
+  private:
+    std::string prefix_;
+};
 
 /** Cora at paper size (cheap enough at every scale). */
 inline NodeDataset

@@ -18,6 +18,7 @@ using namespace gnnperf::bench;
 int
 main()
 {
+    StatsScope stats_scope("fig1");
     banner("Fig. 1 — epoch-time breakdown on ENZYMES",
            "paper Fig. 1");
     const int epochs = static_cast<int>(envEpochs(2, 5));

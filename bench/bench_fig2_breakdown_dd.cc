@@ -16,6 +16,7 @@ using namespace gnnperf::bench;
 int
 main()
 {
+    StatsScope stats_scope("fig2");
     banner("Fig. 2 — epoch-time breakdown on DD", "paper Fig. 2");
     const int epochs = static_cast<int>(envEpochs(2, 5));
 

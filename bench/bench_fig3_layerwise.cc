@@ -17,6 +17,7 @@ using namespace gnnperf::bench;
 int
 main()
 {
+    StatsScope stats_scope("fig3");
     banner("Fig. 3 — layer-wise execution time on ENZYMES",
            "paper Fig. 3");
     const int epochs = static_cast<int>(envEpochs(2, 5));

@@ -18,6 +18,7 @@ using namespace gnnperf::bench;
 int
 main()
 {
+    StatsScope stats_scope("fig4");
     banner("Fig. 4 — peak memory usage (ENZYMES, DD)",
            "paper Fig. 4");
     const int epochs = static_cast<int>(envEpochs(1, 3));

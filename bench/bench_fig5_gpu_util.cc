@@ -16,6 +16,7 @@ using namespace gnnperf::bench;
 int
 main()
 {
+    StatsScope stats_scope("fig5");
     banner("Fig. 5 — GPU compute utilization (ENZYMES, DD)",
            "paper Fig. 5");
     const int epochs = static_cast<int>(envEpochs(1, 3));

@@ -18,6 +18,7 @@ using namespace gnnperf::bench;
 int
 main()
 {
+    StatsScope stats_scope("fig6");
     banner("Fig. 6 — multi-GPU scaling on MNIST", "paper Fig. 6");
 
     GraphDataset mnist = benchMnist();

@@ -17,6 +17,7 @@ using namespace gnnperf::bench;
 int
 main()
 {
+    StatsScope stats_scope("table1");
     banner("Table I — dataset statistics", "paper Table I");
 
     std::vector<DatasetInfo> infos;

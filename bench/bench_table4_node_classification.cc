@@ -19,6 +19,7 @@ using namespace gnnperf::bench;
 int
 main()
 {
+    StatsScope stats_scope("table4");
     banner("Table IV — node classification (Cora, PubMed)",
            "paper Table IV");
     const int seeds = static_cast<int>(envSeeds(2, 4));

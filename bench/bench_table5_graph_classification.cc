@@ -17,6 +17,7 @@ using namespace gnnperf::bench;
 int
 main()
 {
+    StatsScope stats_scope("table5");
     banner("Table V — graph classification (ENZYMES, DD)",
            "paper Table V");
     const int folds = static_cast<int>(envFolds(2, 10));

@@ -9,14 +9,21 @@
  *                  [--dataset cora|pubmed|enzymes|dd|mnist]
  *                  [--epochs N] [--folds N] [--seeds N]
  *                  [--graphs N] [--verbose]
+ *                  [--stats-out FILE] [--events-out FILE]
  *
  * Both frameworks are always run and compared side by side, as in the
  * paper's tables.
+ *
+ * --stats-out writes the metrics registry's JSON snapshot after the
+ * run; --events-out writes the per-epoch run-event log as JSONL.
+ * Either flag turns stats sampling on for the process.
  *
  * Examples:
  *   run_experiment --task node --model GAT --dataset cora --epochs 100
  *   run_experiment --task graph --model GatedGCN --dataset enzymes \
  *                  --epochs 20 --folds 3
+ *   run_experiment --task node --model GCN --dataset cora --epochs 3 \
+ *                  --stats-out stats.json --events-out events.jsonl
  */
 
 #include <cstdio>
@@ -28,6 +35,9 @@
 #include "common/string_utils.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "device/trace_export.hh"
+#include "obs/stats.hh"
+#include "obs/stats_export.hh"
 
 using namespace gnnperf;
 
@@ -70,6 +80,22 @@ getInt(const std::map<std::string, std::string> &args, const char *key,
     return it == args.end() ? fallback : std::atoll(it->second.c_str());
 }
 
+/** Write --stats-out / --events-out artifacts after the run. */
+void
+writeStatsOutputs(const std::map<std::string, std::string> &args)
+{
+    const std::string stats_path = get(args, "stats-out", "");
+    const std::string events_path = get(args, "events-out", "");
+    if (!stats_path.empty()) {
+        writeFile(stats_path, stats::statsToJson());
+        std::printf("wrote %s\n", stats_path.c_str());
+    }
+    if (!events_path.empty()) {
+        writeFile(events_path, stats::eventsToJsonl());
+        std::printf("wrote %s\n", events_path.c_str());
+    }
+}
+
 } // namespace
 
 int
@@ -82,6 +108,8 @@ main(int argc, char **argv)
     const std::string dataset_name =
         get(args, "dataset", task == "node" ? "cora" : "enzymes");
     const bool verbose = args.count("verbose") > 0;
+    if (args.count("stats-out") > 0 || args.count("events-out") > 0)
+        stats::setSamplingEnabled(true);
 
     if (task == "node") {
         NodeDataset ds;
@@ -98,6 +126,7 @@ main(int argc, char **argv)
         auto rows = runNodeClassification(ds, {model}, seeds, epochs,
                                           verbose);
         std::printf("%s\n", renderNodeTable(ds.name, rows).c_str());
+        writeStatsOutputs(args);
         return 0;
     }
 
@@ -122,6 +151,7 @@ main(int argc, char **argv)
         auto rows = runGraphClassification(ds, {model}, folds, epochs,
                                            /*seed=*/1, verbose);
         std::printf("%s\n", renderGraphTable(ds.name, rows).c_str());
+        writeStatsOutputs(args);
         return 0;
     }
 

@@ -4,8 +4,20 @@
 #include "backends/dgl/dgl_backend.hh"
 #include "backends/pyg/pyg_backend.hh"
 #include "common/logging.hh"
+#include "obs/stats.hh"
 
 namespace gnnperf {
+
+void
+Backend::statEdgesTouched(FrameworkKind kind, int64_t edges)
+{
+    static stats::Counter &pyg =
+        stats::counter("backend.pyg.edges_touched");
+    static stats::Counter &dgl =
+        stats::counter("backend.dgl.edges_touched");
+    (kind == FrameworkKind::PyG ? pyg : dgl)
+        .inc(static_cast<uint64_t>(edges));
+}
 
 const char *
 frameworkName(FrameworkKind kind)

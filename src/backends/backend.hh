@@ -97,6 +97,15 @@ class Backend
      * edge features through a fully connected layer; PyG's does not).
      */
     virtual bool requiresEdgeFeatures() const = 0;
+
+    /**
+     * Bump the per-framework "backend.<fw>.edges_touched" stats
+     * counter: every edge-payload pass (collation relabelling, format
+     * builds, message-passing ops, edge-feature updates) reports the
+     * edges it walked here, so the paper's all-edges pathologies show
+     * up as a PyG-vs-DGL counter gap (see obs/stats.hh).
+     */
+    static void statEdgesTouched(FrameworkKind kind, int64_t edges);
 };
 
 /** The process-wide backend instance for a framework. */

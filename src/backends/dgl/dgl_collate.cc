@@ -16,6 +16,7 @@
 #include "backends/dgl/hetero_graph.hh"
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "obs/stats.hh"
 
 namespace gnnperf {
 
@@ -92,6 +93,11 @@ DglBackend::collate(const std::vector<const Graph *> &graphs) const
     recordHost("dgl.relabel_edges", HostOpKind::IndexedGather,
                static_cast<double>(total_edges) * 2.0 * sizeof(int64_t),
                1.0);
+    // Heterograph endpoint validation + relabelling, the eager CSR and
+    // CSC builds below, and the degree pass: five full edge walks per
+    // batch against PyG's two — the collation half of the paper's
+    // all-edges pathology.
+    Backend::statEdgesTouched(FrameworkKind::DGL, 5 * total_edges);
 
     // Node-task split indices (single-graph batches).
     if (graphs.size() == 1) {
@@ -132,6 +138,19 @@ DglBackend::collate(const std::vector<const Graph *> &graphs) const
                      static_cast<double>(total_edges) * sizeof(int64_t) +
                          static_cast<double>(batch.inDegrees.bytes()));
     }
+
+    static stats::Counter &collates =
+        stats::counter("backend.dgl.collate_batches");
+    static stats::Counter &bytes =
+        stats::counter("backend.dgl.collate_bytes");
+    collates.inc();
+    // Frame merge + relabelled COO + eagerly built CSR/CSC + the
+    // device-resident structure storage.
+    bytes.inc(static_cast<uint64_t>(x_host.bytes()) +
+              static_cast<uint64_t>(total_edges) * 2 * sizeof(int64_t) +
+              static_cast<uint64_t>(2 * (2 * total_edges + total_nodes)) *
+                  sizeof(int64_t) +
+              static_cast<uint64_t>(structure_bytes));
 
     return batch;
 }

@@ -18,6 +18,7 @@
 #include "graph/edge_softmax.hh"
 #include "graph/segment.hh"
 #include "graph/spmm.hh"
+#include "obs/stats.hh"
 #include "tensor/ops.hh"
 
 namespace gnnperf {
@@ -30,6 +31,9 @@ DglBackend::dispatchOp(const char *op) const
 {
     if (!emitHeteroDispatch_)
         return;
+    static stats::Counter &dispatches =
+        stats::counter("backend.dgl.dispatch_ops");
+    dispatches.inc();
     recordHost(op, HostOpKind::Dispatch, 0.0, kHeteroDispatchItems);
 }
 
@@ -47,6 +51,9 @@ DglBackend::frame(int64_t edges, int64_t width) const
     if (!allocFrames_)
         return Tensor();
     Tensor buffer = Tensor::zeros({edges, 2 * width}, DeviceKind::Cuda);
+    static stats::Counter &frame_bytes =
+        stats::counter("backend.dgl.frame_bytes");
+    frame_bytes.inc(static_cast<uint64_t>(buffer.bytes()));
     recordKernel("dgl_frame_init", 0.0,
                  static_cast<double>(buffer.bytes()));
     return buffer;
@@ -56,6 +63,7 @@ Var
 DglBackend::aggregate(BatchedGraph &g, const Var &x, Reduce reduce) const
 {
     dispatchOp("dgl.update_all");
+    statEdgesTouched(FrameworkKind::DGL, g.numEdges());
     g.ensureInIndex();
     g.ensureOutIndex();
     const CsrIndex &in = *g.inIndex;
@@ -114,6 +122,7 @@ DglBackend::aggregateWeighted(BatchedGraph &g, const Var &x,
                               const Var &w, int64_t heads) const
 {
     dispatchOp("dgl.update_all.u_mul_e");
+    statEdgesTouched(FrameworkKind::DGL, g.numEdges());
     g.ensureInIndex();
     g.ensureOutIndex();
     const CsrIndex &in = *g.inIndex;
@@ -145,6 +154,7 @@ Var
 DglBackend::aggregateEdges(BatchedGraph &g, const Var &e_attr) const
 {
     dispatchOp("dgl.update_all.copy_e");
+    statEdgesTouched(FrameworkKind::DGL, g.numEdges());
     g.ensureInIndex();
     const CsrIndex &in = *g.inIndex;
     const int64_t f = e_attr.dim(1);
@@ -186,6 +196,7 @@ Var
 DglBackend::edgeSoftmax(BatchedGraph &g, const Var &logits) const
 {
     dispatchOp("dgl.edge_softmax");
+    statEdgesTouched(FrameworkKind::DGL, g.numEdges());
     g.ensureInIndex();
     const CsrIndex *in = &*g.inIndex;
     Tensor alpha = graphops::edgeSoftmaxFused(*in, logits.value());

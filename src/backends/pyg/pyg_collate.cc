@@ -14,6 +14,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "obs/stats.hh"
 
 namespace gnnperf {
 
@@ -85,6 +86,8 @@ collatePygStyle(const std::vector<const Graph *> &graphs,
     recordHost("pyg.offset_edges", HostOpKind::Memcpy,
                static_cast<double>(total_edges) * 2.0 * sizeof(int64_t),
                1.0);
+    // One edge-index offsetting pass plus the degree pass below.
+    Backend::statEdgesTouched(FrameworkKind::PyG, 2 * total_edges);
 
     // Node-task split indices (single-graph batches).
     if (graphs.size() == 1) {
@@ -115,6 +118,15 @@ collatePygStyle(const std::vector<const Graph *> &graphs,
                      static_cast<double>(total_edges) * sizeof(int64_t) +
                          static_cast<double>(batch.inDegrees.bytes()));
     }
+
+    static stats::Counter &collates =
+        stats::counter("backend.pyg.collate_batches");
+    static stats::Counter &bytes =
+        stats::counter("backend.pyg.collate_bytes");
+    collates.inc();
+    // Feature concat + offset edge index + edge-index H2D traffic.
+    bytes.inc(static_cast<uint64_t>(x_host.bytes()) +
+              static_cast<uint64_t>(total_edges) * 4 * sizeof(int64_t));
 
     return batch;
 }

@@ -25,6 +25,7 @@ using autograd::Node;
 Var
 PygBackend::aggregate(BatchedGraph &g, const Var &x, Reduce reduce) const
 {
+    statEdgesTouched(FrameworkKind::PyG, g.numEdges());
     // x_j = gather(x, src): materialised message tensor.
     Var messages = fn::gatherRows(x, g.edgeSrc);
     switch (reduce) {
@@ -64,6 +65,7 @@ PygBackend::aggregateWeighted(BatchedGraph &g, const Var &x,
 {
     gnnperf_assert(x.dim(1) % heads == 0,
                    "aggregateWeighted: width not divisible by heads");
+    statEdgesTouched(FrameworkKind::PyG, g.numEdges());
     const int64_t d = x.dim(1) / heads;
 
     // Messages: x_j gathered per edge, then scaled by per-head weight.
@@ -122,6 +124,7 @@ PygBackend::aggregateWeighted(BatchedGraph &g, const Var &x,
 Var
 PygBackend::aggregateEdges(BatchedGraph &g, const Var &e_attr) const
 {
+    statEdgesTouched(FrameworkKind::PyG, g.numEdges());
     return fn::scatterAddRows(e_attr, g.edgeDst, g.numNodes);
 }
 
@@ -132,6 +135,7 @@ PygBackend::edgeSoftmax(BatchedGraph &g, const Var &logits) const
     // (torch_geometric.utils.softmax): scatter-max per destination,
     // subtract, exp, scatter-add, divide. Five kernels and two [E,H]
     // temporaries versus DGL's single fused kernel.
+    statEdgesTouched(FrameworkKind::PyG, g.numEdges());
     const int64_t n = g.numNodes;
 
     // 1. per-destination max (for numerical stability)

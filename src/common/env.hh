@@ -9,7 +9,12 @@
  *   GNNPERF_EPOCHS=N      — override epoch budget
  *   GNNPERF_SEEDS=N       — override number of seeds / repeats
  *   GNNPERF_FOLDS=N       — override number of CV folds
- *   GNNPERF_QUIET=1       — suppress inform() output
+ *   GNNPERF_QUIET=1       — suppress inform() output (alias of
+ *                           GNNPERF_LOG=warn)
+ *   GNNPERF_LOG=debug|info|warn — minimum log level (common/logging)
+ *   GNNPERF_LOG_TIME=1    — timestamp log lines
+ *   GNNPERF_STATS=1       — enable stats sampling in the benches
+ *                           (obs/stats.hh)
  */
 
 #ifndef GNNPERF_COMMON_ENV_HH

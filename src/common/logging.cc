@@ -1,17 +1,20 @@
 #include "common/logging.hh"
 
+#include <chrono>
 #include <cstdio>
+
+#include "common/env.hh"
+#include "common/string_utils.hh"
 
 namespace gnnperf {
 
 namespace {
 
-bool g_verbose = true;
-
 const char *
 levelTag(LogLevel level)
 {
     switch (level) {
+      case LogLevel::Debug: return "debug";
       case LogLevel::Inform: return "info";
       case LogLevel::Warn: return "warn";
       case LogLevel::Fatal: return "fatal";
@@ -20,18 +23,80 @@ levelTag(LogLevel level)
     return "?";
 }
 
+LogLevel
+initialLevel()
+{
+    if (envInt("GNNPERF_QUIET", 0) != 0)
+        return LogLevel::Warn;
+    const std::string name = envString("GNNPERF_LOG", "info");
+    if (iequals(name, "debug"))
+        return LogLevel::Debug;
+    if (iequals(name, "warn"))
+        return LogLevel::Warn;
+    if (!iequals(name, "info")) {
+        std::fprintf(stderr,
+                     "[warn] GNNPERF_LOG=%s not one of debug|info|warn;"
+                     " using info\n", name.c_str());
+    }
+    return LogLevel::Inform;
+}
+
+LogLevel g_minLevel = initialLevel();
+bool g_timestamps = envInt("GNNPERF_LOG_TIME", 0) != 0;
+
+const std::chrono::steady_clock::time_point g_start =
+    std::chrono::steady_clock::now();
+
+std::string
+linePrefix(LogLevel level)
+{
+    std::string prefix;
+    if (g_timestamps) {
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - g_start).count();
+        prefix += strprintf("[%9.3f] ", elapsed);
+    }
+    prefix += strprintf("[%s] ", levelTag(level));
+    return prefix;
+}
+
 } // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_minLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_minLevel;
+}
+
+void
+setLogTimestamps(bool on)
+{
+    g_timestamps = on;
+}
+
+bool
+logTimestamps()
+{
+    return g_timestamps;
+}
 
 void
 setVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_minLevel = verbose ? LogLevel::Inform : LogLevel::Warn;
 }
 
 bool
 verbose()
 {
-    return g_verbose;
+    return g_minLevel <= LogLevel::Inform;
 }
 
 namespace detail {
@@ -39,16 +104,17 @@ namespace detail {
 void
 log(LogLevel level, const std::string &msg)
 {
-    if (level == LogLevel::Inform && !g_verbose)
+    if (level < g_minLevel)
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+    std::fprintf(stderr, "%s%s\n", linePrefix(level).c_str(),
+                 msg.c_str());
 }
 
 void
 logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "[%s] %s:%d: %s\n", levelTag(level), file, line,
-                 msg.c_str());
+    std::fprintf(stderr, "%s%s:%d: %s\n", linePrefix(level).c_str(),
+                 file, line, msg.c_str());
     if (level == LogLevel::Panic)
         std::abort();
     std::exit(1);

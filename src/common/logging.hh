@@ -6,6 +6,13 @@
  * fatal()  — the user asked for something impossible (bad config); exits.
  * warn()   — something is questionable but execution can continue.
  * inform() — status messages for the user.
+ * debug()  — development chatter, off unless GNNPERF_LOG=debug.
+ *
+ * The minimum emitted level defaults to Inform and can be set at
+ * runtime (setLogLevel) or from the environment: GNNPERF_LOG=
+ * debug|info|warn (GNNPERF_QUIET=1 is an alias for warn). Set
+ * GNNPERF_LOG_TIME=1 (or setLogTimestamps) to prefix each line with
+ * seconds since process start.
  */
 
 #ifndef GNNPERF_COMMON_LOGGING_HH
@@ -17,8 +24,8 @@
 
 namespace gnnperf {
 
-/** Severity of a log message. */
-enum class LogLevel { Inform, Warn, Fatal, Panic };
+/** Severity of a log message, least severe first. */
+enum class LogLevel { Debug, Inform, Warn, Fatal, Panic };
 
 namespace detail {
 
@@ -41,7 +48,19 @@ composeMessage(Args &&...args)
 
 } // namespace detail
 
-/** Whether inform() messages are printed (default true). */
+/** Minimum level that is emitted (default Inform, or GNNPERF_LOG). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Prefix log lines with seconds since process start. */
+void setLogTimestamps(bool on);
+bool logTimestamps();
+
+/**
+ * Whether inform() messages are printed (default true). Kept as a
+ * compatibility shim over setLogLevel: verbose on == Inform,
+ * verbose off == Warn.
+ */
 void setVerbose(bool verbose);
 bool verbose();
 
@@ -66,6 +85,19 @@ bool verbose();
 #define gnnperf_inform(...)                                                  \
     ::gnnperf::detail::log(::gnnperf::LogLevel::Inform,                      \
         ::gnnperf::detail::composeMessage(__VA_ARGS__))
+
+/**
+ * Debug chatter (suppressed unless GNNPERF_LOG=debug). The level is
+ * checked before the message is composed, so disabled debug lines
+ * only cost the comparison.
+ */
+#define gnnperf_debug(...)                                                   \
+    do {                                                                     \
+        if (::gnnperf::logLevel() <= ::gnnperf::LogLevel::Debug) {           \
+            ::gnnperf::detail::log(::gnnperf::LogLevel::Debug,               \
+                ::gnnperf::detail::composeMessage(__VA_ARGS__));             \
+        }                                                                    \
+    } while (false)
 
 /** Cheap always-on invariant check with a message. */
 #define gnnperf_assert(cond, ...)                                            \

@@ -32,6 +32,18 @@ std::string padRight(const std::string &s, std::size_t width);
 /** Case-insensitive string equality (ASCII). */
 bool iequals(const std::string &a, const std::string &b);
 
+/**
+ * Escape a string for embedding inside a JSON string literal: quote,
+ * backslash and control characters become their \-escapes.
+ */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Escape a CSV field (RFC 4180): fields containing a comma, quote or
+ * newline are wrapped in quotes with embedded quotes doubled.
+ */
+std::string csvEscape(const std::string &s);
+
 } // namespace gnnperf
 
 #endif // GNNPERF_COMMON_STRING_UTILS_HH

@@ -5,6 +5,8 @@
 #include "common/string_utils.hh"
 #include "common/table.hh"
 #include "device/trace_export.hh"
+#include "obs/stats.hh"
+#include "obs/stats_export.hh"
 
 namespace gnnperf {
 
@@ -259,6 +261,17 @@ maybeWriteCsv(const std::string &filename, const std::string &content)
     const std::string path = dir + "/" + filename;
     writeFile(path, content);
     gnnperf_inform("wrote ", path);
+}
+
+void
+maybeWriteStatsArtifacts(const std::string &prefix)
+{
+    if (!stats::samplingEnabled())
+        return;
+    maybeWriteCsv(prefix + "_stats.json", stats::statsToJson());
+    maybeWriteCsv(prefix + "_stats_epochs.csv",
+                  stats::statsSeriesToCsv());
+    maybeWriteCsv(prefix + "_events.jsonl", stats::eventsToJsonl());
 }
 
 std::string

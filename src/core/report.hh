@@ -68,6 +68,14 @@ std::string datasetInfoCsv(const std::vector<DatasetInfo> &infos);
 void maybeWriteCsv(const std::string &filename,
                    const std::string &content);
 
+/**
+ * When GNNPERF_CSV_DIR is set and stats sampling is on, write the
+ * registry's JSON snapshot (`<prefix>_stats.json`), per-epoch series
+ * CSV (`<prefix>_stats_epochs.csv`) and run-event log
+ * (`<prefix>_events.jsonl`) next to the table CSVs; otherwise no-op.
+ */
+void maybeWriteStatsArtifacts(const std::string &prefix);
+
 } // namespace gnnperf
 
 #endif // GNNPERF_CORE_REPORT_HH

@@ -9,6 +9,7 @@
 #include "nn/loss.hh"
 #include "nn/lr_scheduler.hh"
 #include "nn/optimizer.hh"
+#include "obs/stats.hh"
 
 namespace gnnperf {
 
@@ -109,6 +110,8 @@ replayAndClear(const Backend &backend)
 Tensor
 evalLogits(GnnModel &model, BatchedGraph &batch)
 {
+    static stats::Counter &evals = stats::counter("trainer.evals");
+    evals.inc();
     NoGradGuard no_grad;
     PhaseScope phase(Phase::Evaluation);
     model.train(false);
@@ -188,6 +191,8 @@ trainNodeTask(ModelKind kind, const Backend &backend,
         acc.add(t);
         total_time += t.elapsed;
         ++result.epochsRun;
+        stats::counter("trainer.epochs").inc();
+        stats::Registry::instance().rollEpoch();
 
         if (val_acc > best_val) {
             best_val = val_acc;
@@ -195,6 +200,7 @@ trainNodeTask(ModelKind kind, const Backend &backend,
             bad_epochs = 0;
         } else if (hp.train.earlyStopPatience > 0 &&
                    ++bad_epochs > hp.train.earlyStopPatience) {
+            stats::counter("trainer.early_stops").inc();
             break;
         }
         if (opts.verbose && epoch % 20 == 0) {
@@ -250,6 +256,8 @@ runTrainEpoch(GnnModel &model, nn::Adam &optimizer, DataLoader &loader)
 std::pair<double, double>
 evaluateLoader(GnnModel &model, DataLoader &loader)
 {
+    static stats::Counter &evals = stats::counter("trainer.evals");
+    evals.inc();
     NoGradGuard no_grad;
     PhaseScope phase(Phase::Evaluation);
     model.train(false);
@@ -323,6 +331,8 @@ trainGraphTask(ModelKind kind, const Backend &backend,
         acc.add(t);
         total_time += t.elapsed;
         ++result.epochsRun;
+        stats::counter("trainer.epochs").inc();
+        stats::Registry::instance().rollEpoch();
 
         if (opts.verbose && epoch % 10 == 0) {
             gnnperf_inform(model->name(), "/", backend.name(),
@@ -330,8 +340,10 @@ trainGraphTask(ModelKind kind, const Backend &backend,
                            " val_acc ", val_acc, " lr ",
                            optimizer.learningRate());
         }
-        if (scheduler.shouldStop())
+        if (scheduler.shouldStop()) {
+            stats::counter("trainer.early_stops").inc();
             break;
+        }
     }
 
     // Paper: end-of-training parameters evaluated on the test split.

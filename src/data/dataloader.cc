@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "obs/stats.hh"
 
 namespace gnnperf {
 
@@ -28,6 +29,8 @@ DataLoader::DataLoader(const GraphDataset &dataset,
 void
 DataLoader::startEpoch()
 {
+    static stats::Counter &epochs = stats::counter("dataloader.epochs");
+    epochs.inc();
     cursor_ = 0;
     if (shuffle_)
         rng_.shuffle(indices_);
@@ -48,6 +51,10 @@ DataLoader::next(BatchedGraph &out)
             indices_[i])]);
     }
     cursor_ = end;
+    static stats::Counter &batches = stats::counter("dataloader.batches");
+    static stats::Counter &graphs = stats::counter("dataloader.graphs");
+    batches.inc();
+    graphs.inc(members.size());
     out = backend_.collate(members);
     return true;
 }

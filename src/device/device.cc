@@ -1,6 +1,7 @@
 #include "device/device.hh"
 
 #include "common/logging.hh"
+#include "obs/stats.hh"
 
 namespace gnnperf {
 
@@ -42,12 +43,34 @@ void
 DeviceManager::notifyAlloc(DeviceKind kind, std::size_t bytes)
 {
     stats(kind).onAlloc(bytes);
+    if (kind == DeviceKind::Cuda) {
+        static stats::Counter &allocs = stats::counter("alloc.cuda.allocs");
+        static stats::Counter &alloc_bytes =
+            stats::counter("alloc.cuda.alloc_bytes");
+        static stats::Gauge &current =
+            stats::gauge("alloc.cuda.current_bytes");
+        static stats::Gauge &peak = stats::gauge("alloc.cuda.peak_bytes");
+        allocs.inc();
+        alloc_bytes.inc(bytes);
+        current.set(static_cast<double>(cuda_.currentBytes));
+        peak.set(static_cast<double>(cuda_.peakBytes));
+    } else {
+        static stats::Counter &allocs = stats::counter("alloc.host.allocs");
+        allocs.inc();
+    }
 }
 
 void
 DeviceManager::notifyFree(DeviceKind kind, std::size_t bytes)
 {
     stats(kind).onFree(bytes);
+    if (kind == DeviceKind::Cuda) {
+        static stats::Counter &frees = stats::counter("alloc.cuda.frees");
+        static stats::Gauge &current =
+            stats::gauge("alloc.cuda.current_bytes");
+        frees.inc();
+        current.set(static_cast<double>(cuda_.currentBytes));
+    }
 }
 
 } // namespace gnnperf

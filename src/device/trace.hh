@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace gnnperf {
@@ -68,28 +69,59 @@ struct HostRecord
     int16_t layer;       ///< layer-scope id, -1 when outside any layer
 };
 
-/** Union-ish ordered trace entry. */
+/**
+ * Ordered trace entry. Kernel and host payloads share storage: both
+ * records are trivially copyable, so the tagged union halves the
+ * per-entry footprint (and memcpy traffic on vector growth) relative
+ * to embedding both records side by side.
+ */
 struct TraceEntry
 {
     bool isKernel;
-    KernelRecord kernel;  ///< valid when isKernel
-    HostRecord host;      ///< valid when !isKernel
+    union {
+        KernelRecord kernel;  ///< valid when isKernel
+        HostRecord host;      ///< valid when !isKernel
+    };
+
+    explicit TraceEntry(const KernelRecord &k)
+        : isKernel(true), kernel(k)
+    {}
+
+    explicit TraceEntry(const HostRecord &h)
+        : isKernel(false), host(h)
+    {}
 };
+
+static_assert(std::is_trivially_copyable_v<TraceEntry>,
+              "TraceEntry must stay memcpy-able");
+static_assert(sizeof(TraceEntry) <=
+                  sizeof(KernelRecord) + sizeof(HostRecord),
+              "TraceEntry must not store both payloads");
 
 /** An append-only execution trace. */
 class Trace
 {
   public:
+    /**
+     * Initial entry capacity. A profiled epoch emits hundreds to
+     * thousands of records; reserving up front keeps the enabled
+     * profiler from paying the early vector doublings every epoch
+     * (clear() preserves capacity between epochs).
+     */
+    static constexpr std::size_t kInitialCapacity = 1024;
+
+    Trace() { entries_.reserve(kInitialCapacity); }
+
     void
     addKernel(const KernelRecord &k)
     {
-        entries_.push_back(TraceEntry{true, k, {}});
+        entries_.emplace_back(k);
     }
 
     void
     addHost(const HostRecord &h)
     {
-        entries_.push_back(TraceEntry{false, {}, h});
+        entries_.emplace_back(h);
     }
 
     const std::vector<TraceEntry> &entries() const { return entries_; }

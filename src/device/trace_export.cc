@@ -27,11 +27,12 @@ traceToChromeJson(const Trace &trace, const CostModel &model,
         if (entry.isKernel) {
             const auto &k = entry.kernel;
             const double dur = model.kernelTime(k);
+            const std::string name = jsonEscape(k.name);
             // Host-side launch slice.
             out += strprintf(
                 ",\n{\"name\":\"launch %s\",\"cat\":\"%s\",\"ph\":\"X\","
                 "\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f}",
-                k.name, phaseName(k.phase), host * 1e6,
+                name.c_str(), phaseName(k.phase), host * 1e6,
                 dispatch_overhead * 1e6);
             host += dispatch_overhead;
             const double start = std::max(host, gpu_free);
@@ -40,8 +41,8 @@ traceToChromeJson(const Trace &trace, const CostModel &model,
                 ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
                 "\"pid\":1,\"tid\":2,\"ts\":%.3f,\"dur\":%.3f,"
                 "\"args\":{\"flops\":%.0f,\"bytes\":%.0f}}",
-                k.name, phaseName(k.phase), start * 1e6, dur * 1e6,
-                k.flops, k.bytes);
+                name.c_str(), phaseName(k.phase), start * 1e6,
+                dur * 1e6, k.flops, k.bytes);
         } else {
             const auto &h = entry.host;
             const double dur = model.hostTime(h);
@@ -49,8 +50,8 @@ traceToChromeJson(const Trace &trace, const CostModel &model,
                 ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
                 "\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,"
                 "\"args\":{\"bytes\":%.0f,\"items\":%.0f}}",
-                h.name, phaseName(h.phase), host * 1e6, dur * 1e6,
-                h.bytes, h.items);
+                jsonEscape(h.name).c_str(), phaseName(h.phase),
+                host * 1e6, dur * 1e6, h.bytes, h.items);
             host += dur;
         }
     }
@@ -105,9 +106,9 @@ kernelSummaryToCsv(const std::vector<KernelSummaryRow> &rows)
 {
     std::string out = "kernel,count,flops,bytes,gpu_seconds\n";
     for (const auto &row : rows) {
-        out += strprintf("%s,%zu,%.0f,%.0f,%.9f\n", row.name.c_str(),
-                         row.count, row.flops, row.bytes,
-                         row.gpuSeconds);
+        out += strprintf("%s,%zu,%.0f,%.0f,%.9f\n",
+                         csvEscape(row.name).c_str(), row.count,
+                         row.flops, row.bytes, row.gpuSeconds);
     }
     return out;
 }

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "obs/stats.hh"
 #include "tensor/ops.hh"
 
 namespace gnnperf {
@@ -48,6 +49,11 @@ scatterMaxRows(const Tensor &src, const std::vector<int64_t> &idx,
     gnnperf_assert(static_cast<int64_t>(idx.size()) == src.dim(0),
                    "scatterMaxRows: index/source mismatch");
     const int64_t f = src.dim(1);
+    static stats::Counter &calls = stats::counter("kernel.scatter.calls");
+    static stats::Distribution &rows =
+        stats::distribution("kernel.scatter.rows");
+    calls.inc();
+    rows.sample(static_cast<double>(num_rows));
     Tensor out = Tensor::full({num_rows, f},
                               -std::numeric_limits<float>::infinity(),
                               src.device());

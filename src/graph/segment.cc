@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "obs/stats.hh"
 
 namespace gnnperf {
 namespace graphops {
@@ -17,6 +18,11 @@ segmentReduce(const Tensor &x, const std::vector<int64_t> &ptr,
                    ptr.back() == x.dim(0),
                    "segmentReduce: bad segment pointer");
     const int64_t b = static_cast<int64_t>(ptr.size()) - 1;
+    static stats::Counter &calls = stats::counter("kernel.segment.calls");
+    static stats::Counter &segments =
+        stats::counter("kernel.segment.segments");
+    calls.inc();
+    segments.inc(static_cast<uint64_t>(b));
     const int64_t f = x.dim(1);
     Tensor out = Tensor::zeros({b, f}, x.device());
     const float *px = x.data();

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "obs/stats.hh"
 
 namespace gnnperf {
 namespace graphops {
@@ -14,6 +15,13 @@ void
 recordSpmm(const char *name, int64_t edges, int64_t f, int64_t n,
            double flops_per_edge_elem)
 {
+    static stats::Counter &calls = stats::counter("kernel.spmm.calls");
+    static stats::Counter &nnz = stats::counter("kernel.spmm.nnz");
+    static stats::Distribution &rows =
+        stats::distribution("kernel.spmm.rows");
+    calls.inc();
+    nnz.inc(static_cast<uint64_t>(edges));
+    rows.sample(static_cast<double>(n));
     recordKernel(name,
                  flops_per_edge_elem * static_cast<double>(edges) * f,
                  static_cast<double>(edges * f + n * f) * sizeof(float) +
@@ -186,6 +194,10 @@ sddmmDotUV(const std::vector<int64_t> &src,
     const int64_t e = static_cast<int64_t>(src.size());
     const int64_t f = a.dim(1);
     const int64_t d = f / heads;
+    static stats::Counter &calls = stats::counter("kernel.sddmm.calls");
+    static stats::Counter &nnz = stats::counter("kernel.sddmm.nnz");
+    calls.inc();
+    nnz.inc(static_cast<uint64_t>(e));
     Tensor out({e, heads}, a.device());
     const float *pa = a.data();
     const float *pb = b.data();

@@ -59,6 +59,9 @@ GatedGcnConv::forward(BatchedGraph &batch, const Var &h, Var &e)
         gnnperf_assert(e.defined(),
                        "GatedGcnConv: edge stream not initialised");
         e_hat = fn::add(e_hat, gateEdge_->forward(e));
+        // The FC touches every edge's feature row — the all-edges
+        // traffic the paper attributes GatedGCN's DGL slowdown to.
+        Backend::statEdgesTouched(backend_.kind(), e.dim(0));
     }
     Var eta = fn::sigmoid(e_hat);  // [E, F_out]
 

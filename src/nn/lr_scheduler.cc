@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/stats.hh"
+
 namespace gnnperf {
 namespace nn {
 
@@ -26,6 +28,8 @@ ReduceLROnPlateau::step(double val_loss)
     if (++badEpochs_ > patience_) {
         optimizer_.setLearningRate(optimizer_.learningRate() * factor_);
         badEpochs_ = 0;
+        static stats::Counter &drops = stats::counter("trainer.lr_drops");
+        drops.inc();
     }
 }
 

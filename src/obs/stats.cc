@@ -1,0 +1,299 @@
+#include "obs/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace gnnperf {
+namespace stats {
+
+std::atomic<bool> g_samplingEnabled{false};
+
+void
+setSamplingEnabled(bool on)
+{
+    g_samplingEnabled.store(on, std::memory_order_relaxed);
+}
+
+const char *
+metricTypeName(MetricType type)
+{
+    switch (type) {
+      case MetricType::Counter: return "counter";
+      case MetricType::Gauge: return "gauge";
+      case MetricType::Distribution: return "distribution";
+    }
+    return "?";
+}
+
+int
+Distribution::bucketIndex(double v)
+{
+    if (!(v >= 1.0))
+        return 0;
+    const int b = 1 + std::ilogb(v);
+    return b < kNumBuckets ? b : kNumBuckets - 1;
+}
+
+void
+Distribution::sample(double v)
+{
+    if (!samplingEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+    ++buckets_[static_cast<std::size_t>(bucketIndex(v))];
+}
+
+Distribution::Snapshot
+Distribution::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot s;
+    s.count = count_;
+    s.min = min_;
+    s.max = max_;
+    s.buckets = buckets_;
+    if (count_ > 0) {
+        s.mean = sum_ / static_cast<double>(count_);
+        const double var =
+            sumSq_ / static_cast<double>(count_) - s.mean * s.mean;
+        s.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    return s;
+}
+
+namespace {
+
+/**
+ * The well-known metric set, registered eagerly so that every stats
+ * snapshot spans all instrumented namespaces with stable columns —
+ * even for workloads that never touch some of them (a node-task run
+ * has no DataLoader, a PyG run has no heterograph dispatch).
+ */
+struct CoreMetric
+{
+    const char *name;
+    MetricType type;
+};
+
+constexpr CoreMetric kCoreMetrics[] = {
+    {"dataloader.epochs", MetricType::Counter},
+    {"dataloader.batches", MetricType::Counter},
+    {"dataloader.graphs", MetricType::Counter},
+    {"backend.pyg.collate_batches", MetricType::Counter},
+    {"backend.pyg.collate_bytes", MetricType::Counter},
+    {"backend.pyg.edges_touched", MetricType::Counter},
+    {"backend.dgl.collate_batches", MetricType::Counter},
+    {"backend.dgl.collate_bytes", MetricType::Counter},
+    {"backend.dgl.edges_touched", MetricType::Counter},
+    {"backend.dgl.dispatch_ops", MetricType::Counter},
+    {"backend.dgl.frame_bytes", MetricType::Counter},
+    {"kernel.spmm.calls", MetricType::Counter},
+    {"kernel.spmm.nnz", MetricType::Counter},
+    {"kernel.spmm.rows", MetricType::Distribution},
+    {"kernel.sddmm.calls", MetricType::Counter},
+    {"kernel.sddmm.nnz", MetricType::Counter},
+    {"kernel.scatter.calls", MetricType::Counter},
+    {"kernel.scatter.rows", MetricType::Distribution},
+    {"kernel.segment.calls", MetricType::Counter},
+    {"kernel.segment.segments", MetricType::Counter},
+    {"alloc.cuda.allocs", MetricType::Counter},
+    {"alloc.cuda.frees", MetricType::Counter},
+    {"alloc.cuda.alloc_bytes", MetricType::Counter},
+    {"alloc.cuda.current_bytes", MetricType::Gauge},
+    {"alloc.cuda.peak_bytes", MetricType::Gauge},
+    {"alloc.host.allocs", MetricType::Counter},
+    {"trainer.epochs", MetricType::Counter},
+    {"trainer.evals", MetricType::Counter},
+    {"trainer.early_stops", MetricType::Counter},
+    {"trainer.lr_drops", MetricType::Counter},
+};
+
+} // namespace
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Registry::Registry()
+{
+    for (const CoreMetric &m : kCoreMetrics)
+        findOrCreate(m.name, m.type);
+}
+
+Registry::Slot &
+Registry::findOrCreate(const std::string &name, MetricType type)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(name);
+    if (it != slots_.end()) {
+        if (it->second.type != type) {
+            gnnperf_fatal("stats: metric '", name, "' registered as ",
+                          metricTypeName(it->second.type),
+                          ", requested as ", metricTypeName(type));
+        }
+        return it->second;
+    }
+    Slot slot;
+    slot.type = type;
+    switch (type) {
+      case MetricType::Counter:
+        slot.counter = std::make_unique<Counter>();
+        break;
+      case MetricType::Gauge:
+        slot.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::Distribution:
+        slot.dist = std::make_unique<Distribution>();
+        break;
+    }
+    // Late registrations join mid-run: pad the series so every metric
+    // has one entry per rolled epoch.
+    slot.series.assign(epochsRolled_, 0.0);
+    return slots_.emplace(name, std::move(slot)).first->second;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return *findOrCreate(name, MetricType::Counter).counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    return *findOrCreate(name, MetricType::Gauge).gauge;
+}
+
+Distribution &
+Registry::distribution(const std::string &name)
+{
+    return *findOrCreate(name, MetricType::Distribution).dist;
+}
+
+void
+Registry::rollEpoch(const std::string &label)
+{
+    if (!samplingEnabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    RunEvent event;
+    event.label = label;
+    event.epoch = static_cast<int64_t>(epochsRolled_);
+    for (auto &[name, slot] : slots_) {
+        double sample = 0.0;
+        switch (slot.type) {
+          case MetricType::Counter: {
+            const uint64_t now = slot.counter->value();
+            sample = static_cast<double>(now - slot.counter->rolled_);
+            slot.counter->rolled_ = now;
+            break;
+          }
+          case MetricType::Gauge:
+            sample = slot.gauge->value();
+            break;
+          case MetricType::Distribution: {
+            std::lock_guard<std::mutex> dlock(slot.dist->mutex_);
+            sample = static_cast<double>(slot.dist->count_ -
+                                         slot.dist->rolledCount_);
+            slot.dist->rolledCount_ = slot.dist->count_;
+            break;
+          }
+        }
+        slot.series.push_back(sample);
+        if (sample != 0.0)
+            event.deltas.emplace_back(name, sample);
+    }
+    events_.push_back(std::move(event));
+    ++epochsRolled_;
+}
+
+std::size_t
+Registry::epochsRolled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epochsRolled_;
+}
+
+void
+Registry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, slot] : slots_) {
+        switch (slot.type) {
+          case MetricType::Counter:
+            slot.counter->value_.store(0, std::memory_order_relaxed);
+            slot.counter->rolled_ = 0;
+            break;
+          case MetricType::Gauge:
+            slot.gauge->value_.store(0.0, std::memory_order_relaxed);
+            break;
+          case MetricType::Distribution: {
+            std::lock_guard<std::mutex> dlock(slot.dist->mutex_);
+            slot.dist->count_ = 0;
+            slot.dist->min_ = 0.0;
+            slot.dist->max_ = 0.0;
+            slot.dist->sum_ = 0.0;
+            slot.dist->sumSq_ = 0.0;
+            slot.dist->buckets_.fill(0);
+            slot.dist->rolledCount_ = 0;
+            break;
+          }
+        }
+        slot.series.clear();
+    }
+    events_.clear();
+    epochsRolled_ = 0;
+}
+
+std::vector<MetricSnapshot>
+Registry::snapshotAll() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSnapshot> out;
+    out.reserve(slots_.size());
+    for (const auto &[name, slot] : slots_) {
+        MetricSnapshot snap;
+        snap.name = name;
+        snap.type = slot.type;
+        snap.series = slot.series;
+        switch (slot.type) {
+          case MetricType::Counter:
+            snap.value = static_cast<double>(slot.counter->value());
+            break;
+          case MetricType::Gauge:
+            snap.value = slot.gauge->value();
+            break;
+          case MetricType::Distribution:
+            snap.dist = slot.dist->snapshot();
+            snap.value = static_cast<double>(snap.dist.count);
+            break;
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+std::vector<RunEvent>
+Registry::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+} // namespace stats
+} // namespace gnnperf

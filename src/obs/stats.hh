@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Process-wide metrics registry in the gem5 Stats style.
+ *
+ * The Profiler (device/profiler.hh) records an *event-level* trace;
+ * this registry is the *aggregate* layer on top of it: named Counters,
+ * Gauges and Distributions registered lazily by dotted name
+ * ("dataloader.batches", "backend.dgl.dispatch_ops", ...), plus a
+ * per-epoch time series and a structured run-event log rolled by the
+ * trainers. Exporters live in obs/stats_export.hh.
+ *
+ * Cost discipline: sampling is off by default and every mutation
+ * starts with a relaxed load of the global sampling flag — a branch
+ * and a return when off. When on, Counter/Gauge mutations are single
+ * relaxed atomic operations (no locks on the hot path); Distribution
+ * sampling and registration take a registry-level mutex and are
+ * expected on cold(er) paths only.
+ *
+ * Instrumentation sites cache the metric reference in a function-local
+ * static so the name lookup happens once:
+ *
+ *     static stats::Counter &batches =
+ *         stats::counter("dataloader.batches");
+ *     batches.inc();
+ */
+
+#ifndef GNNPERF_OBS_STATS_HH
+#define GNNPERF_OBS_STATS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gnnperf {
+namespace stats {
+
+/** Global sampling switch; off by default. */
+extern std::atomic<bool> g_samplingEnabled;
+
+/** Whether metric mutations are recorded (relaxed load, hot path). */
+inline bool
+samplingEnabled()
+{
+    return g_samplingEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn sampling on/off process-wide. */
+void setSamplingEnabled(bool on);
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1)
+    {
+        if (!samplingEnabled())
+            return;
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    std::atomic<uint64_t> value_{0};
+    uint64_t rolled_ = 0;  ///< cumulative value at the last epoch roll
+};
+
+/** Last-write-wins level (peak bytes, learning rate, ...). */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        if (!samplingEnabled())
+            return;
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Registry;
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Sample statistics: min/max/mean/stddev plus fixed log2 buckets.
+ * Bucket 0 holds samples < 1 (including non-positive values); bucket
+ * i >= 1 holds samples in [2^(i-1), 2^i); the last bucket absorbs the
+ * overflow tail.
+ */
+class Distribution
+{
+  public:
+    static constexpr int kNumBuckets = 33;
+
+    struct Snapshot
+    {
+        uint64_t count = 0;
+        double min = 0.0;
+        double max = 0.0;
+        double mean = 0.0;
+        double stddev = 0.0;
+        std::array<uint64_t, kNumBuckets> buckets{};
+    };
+
+    void sample(double v);
+    Snapshot snapshot() const;
+
+    /** log2 bucket index for a sample value. */
+    static int bucketIndex(double v);
+
+  private:
+    friend class Registry;
+    mutable std::mutex mutex_;
+    uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    std::array<uint64_t, kNumBuckets> buckets_{};
+    uint64_t rolledCount_ = 0;
+};
+
+/** What a registered name refers to. */
+enum class MetricType { Counter, Gauge, Distribution };
+
+/** "counter" / "gauge" / "distribution". */
+const char *metricTypeName(MetricType type);
+
+/**
+ * One structured run event (normally one per epoch): the event label,
+ * the 0-based epoch index, and the metric deltas attached at roll
+ * time — counter/distribution-count deltas since the previous event
+ * plus current gauge levels, non-zero entries only.
+ */
+struct RunEvent
+{
+    std::string label;
+    int64_t epoch = 0;
+    std::vector<std::pair<std::string, double>> deltas;
+};
+
+/** Read-only view of one metric for exporters. */
+struct MetricSnapshot
+{
+    std::string name;
+    MetricType type = MetricType::Counter;
+    double value = 0.0;          ///< counter/dist count or gauge level
+    Distribution::Snapshot dist; ///< populated for distributions
+    std::vector<double> series;  ///< one entry per rolled epoch
+};
+
+/**
+ * The process-wide metric registry. Lookups are find-or-create under
+ * a mutex; returned references stay valid for the process lifetime.
+ * Re-registering a name with a different type is a fatal error.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Distribution &distribution(const std::string &name);
+
+    /**
+     * Close the current epoch: append every metric's per-epoch sample
+     * to its series (counter/distribution deltas, gauge levels) and
+     * log a RunEvent carrying the non-zero deltas. No-op while
+     * sampling is off.
+     */
+    void rollEpoch(const std::string &label = "epoch");
+
+    /** Number of epochs rolled since the last reset. */
+    std::size_t epochsRolled() const;
+
+    /**
+     * Zero every metric and drop series + events. Registrations (and
+     * the addresses instrumentation sites cached) are kept.
+     */
+    void resetValues();
+
+    /** Stable-order (name-sorted) snapshot of every metric. */
+    std::vector<MetricSnapshot> snapshotAll() const;
+
+    /** Copy of the run-event log. */
+    std::vector<RunEvent> events() const;
+
+  private:
+    Registry();
+
+    struct Slot
+    {
+        MetricType type;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Distribution> dist;
+        std::vector<double> series;
+    };
+
+    Slot &findOrCreate(const std::string &name, MetricType type);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Slot> slots_;
+    std::vector<RunEvent> events_;
+    std::size_t epochsRolled_ = 0;
+};
+
+/** Find-or-create conveniences on the process-wide registry. */
+inline Counter &
+counter(const std::string &name)
+{
+    return Registry::instance().counter(name);
+}
+
+inline Gauge &
+gauge(const std::string &name)
+{
+    return Registry::instance().gauge(name);
+}
+
+inline Distribution &
+distribution(const std::string &name)
+{
+    return Registry::instance().distribution(name);
+}
+
+} // namespace stats
+} // namespace gnnperf
+
+#endif // GNNPERF_OBS_STATS_HH

@@ -1,0 +1,109 @@
+#include "obs/stats_export.hh"
+
+#include <cmath>
+
+#include "common/string_utils.hh"
+
+namespace gnnperf {
+namespace stats {
+
+namespace {
+
+/** Format a metric value as a JSON/CSV number (integers unpadded). */
+std::string
+formatValue(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15)
+        return strprintf("%.0f", v);
+    return strprintf("%.9g", v);
+}
+
+} // namespace
+
+std::string
+statsToJson(const Registry &r)
+{
+    const auto snaps = r.snapshotAll();
+    std::string out = strprintf("{\n  \"version\": 1,\n"
+                                "  \"epochs\": %zu,\n"
+                                "  \"metrics\": {",
+                                r.epochsRolled());
+    bool first = true;
+    for (const auto &snap : snaps) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += strprintf("    \"%s\": {\"type\": \"%s\"",
+                         jsonEscape(snap.name).c_str(),
+                         metricTypeName(snap.type));
+        if (snap.type == MetricType::Distribution) {
+            const auto &d = snap.dist;
+            out += strprintf(", \"count\": %llu, \"min\": %s, "
+                             "\"max\": %s, \"mean\": %s, "
+                             "\"stddev\": %s, \"buckets\": [",
+                             static_cast<unsigned long long>(d.count),
+                             formatValue(d.min).c_str(),
+                             formatValue(d.max).c_str(),
+                             formatValue(d.mean).c_str(),
+                             formatValue(d.stddev).c_str());
+            for (int i = 0; i < Distribution::kNumBuckets; ++i) {
+                out += strprintf("%s%llu", i ? "," : "",
+                                 static_cast<unsigned long long>(
+                                     d.buckets[static_cast<
+                                         std::size_t>(i)]));
+            }
+            out += "]}";
+        } else {
+            out += strprintf(", \"value\": %s}",
+                             formatValue(snap.value).c_str());
+        }
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+std::string
+statsSeriesToCsv(const Registry &r)
+{
+    const auto snaps = r.snapshotAll();
+    const std::size_t epochs = r.epochsRolled();
+    std::string out = "epoch";
+    for (const auto &snap : snaps)
+        out += "," + csvEscape(snap.name);
+    out += "\n";
+    for (std::size_t e = 0; e < epochs; ++e) {
+        out += strprintf("%zu", e);
+        for (const auto &snap : snaps) {
+            out += ",";
+            out += e < snap.series.size()
+                       ? formatValue(snap.series[e]) : "0";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+eventsToJsonl(const Registry &r)
+{
+    std::string out;
+    for (const auto &event : r.events()) {
+        out += strprintf("{\"event\": \"%s\", \"epoch\": %lld, "
+                         "\"metrics\": {",
+                         jsonEscape(event.label).c_str(),
+                         static_cast<long long>(event.epoch));
+        bool first = true;
+        for (const auto &[name, delta] : event.deltas) {
+            out += strprintf("%s\"%s\": %s", first ? "" : ", ",
+                             jsonEscape(name).c_str(),
+                             formatValue(delta).c_str());
+            first = false;
+        }
+        out += "}}\n";
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace gnnperf

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Exporters for the stats registry (obs/stats.hh): a machine-readable
+ * JSON snapshot for cross-PR regression tracking, a per-epoch CSV
+ * time series, and a JSONL run-event log (one line per epoch with the
+ * metric deltas attached by Registry::rollEpoch).
+ */
+
+#ifndef GNNPERF_OBS_STATS_EXPORT_HH
+#define GNNPERF_OBS_STATS_EXPORT_HH
+
+#include <string>
+
+#include "obs/stats.hh"
+
+namespace gnnperf {
+namespace stats {
+
+/**
+ * Full registry snapshot as a JSON object:
+ *
+ *   {"version": 1, "epochs": N, "metrics": {
+ *      "dataloader.batches": {"type": "counter", "value": 12},
+ *      "alloc.cuda.peak_bytes": {"type": "gauge", "value": 1024.0},
+ *      "kernel.spmm.rows": {"type": "distribution", "count": 8,
+ *        "min": ..., "max": ..., "mean": ..., "stddev": ...,
+ *        "buckets": [...]}}}
+ */
+std::string statsToJson(const Registry &r = Registry::instance());
+
+/**
+ * Per-epoch time series as CSV: one column per metric (name-sorted),
+ * one row per rolled epoch. Counter and distribution columns carry
+ * the per-epoch delta; gauge columns carry the end-of-epoch level.
+ */
+std::string statsSeriesToCsv(const Registry &r = Registry::instance());
+
+/**
+ * Run-event log as JSONL: one JSON object per line,
+ *
+ *   {"event": "epoch", "epoch": 0,
+ *    "metrics": {"trainer.epochs": 1, ...}}
+ */
+std::string eventsToJsonl(const Registry &r = Registry::instance());
+
+} // namespace stats
+} // namespace gnnperf
+
+#endif // GNNPERF_OBS_STATS_EXPORT_HH

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "device/profiler.hh"
+#include "obs/stats.hh"
 
 namespace gnnperf {
 namespace ops {
@@ -514,6 +515,11 @@ scatterAddRows(const Tensor &src, const std::vector<int64_t> &idx,
                    "scatterAddRows: ", idx.size(), " indices for ",
                    src.dim(0), " rows");
     const int64_t f = src.dim(1);
+    static stats::Counter &calls = stats::counter("kernel.scatter.calls");
+    static stats::Distribution &rows =
+        stats::distribution("kernel.scatter.rows");
+    calls.inc();
+    rows.sample(static_cast<double>(num_rows));
     Tensor out = Tensor::zeros({num_rows, f}, src.device());
     const float *ps = src.data();
     float *po = out.data();

@@ -131,6 +131,44 @@ TEST(KernelSummary, CsvRoundTrip)
     EXPECT_NE(csv.find("sgemm,2,"), std::string::npos);
 }
 
+TEST(ChromeTrace, EscapesSpecialCharactersInNames)
+{
+    Trace trace;
+    trace.addKernel({"odd\"name\\kernel", 1e3, 1e3, Phase::Forward, 0});
+    trace.addHost({"host\nop", HostOpKind::MetaBuild, 1.0, 1.0,
+                   Phase::Other, -1});
+    std::string json = traceToChromeJson(trace,
+                                         CostModel::defaultModel(),
+                                         30e-6);
+    // Raw quotes/backslashes/newlines never survive into JSON strings.
+    EXPECT_NE(json.find("odd\\\"name\\\\kernel"), std::string::npos);
+    EXPECT_NE(json.find("launch odd\\\"name\\\\kernel"),
+              std::string::npos);
+    EXPECT_NE(json.find("host\\nop"), std::string::npos);
+    EXPECT_EQ(json.find("host\nop"), std::string::npos);
+    // Still structurally balanced.
+    int braces = 0;
+    for (char c : json) {
+        if (c == '{')
+            ++braces;
+        if (c == '}')
+            --braces;
+        ASSERT_GE(braces, 0);
+    }
+    EXPECT_EQ(braces, 0);
+}
+
+TEST(KernelSummary, CsvEscapesNames)
+{
+    Trace trace;
+    trace.addKernel({"kernel,with\"comma", 1e3, 1e3, Phase::Forward, 0});
+    auto rows = summarizeKernels(trace, CostModel::defaultModel());
+    std::string csv = kernelSummaryToCsv(rows);
+    // RFC 4180: field quoted, embedded quote doubled.
+    EXPECT_NE(csv.find("\"kernel,with\"\"comma\",1,"),
+              std::string::npos);
+}
+
 TEST(WriteFile, RoundTrip)
 {
     const std::string path = "/tmp/gnnperf_test_writefile.txt";
