@@ -10,10 +10,14 @@
 #define GNNPERF_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/env.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "obs/diff.hh"
 #include "obs/stats.hh"
 
 namespace gnnperf {
@@ -51,6 +55,85 @@ class StatsScope
 
   private:
     std::string prefix_;
+};
+
+/**
+ * Machine-readable bench baseline: collect the run's headline series
+ * and at scope exit write `BENCH_<name>.json` into GNNPERF_CSV_DIR
+ * (when set) in the flat schema `gnnperf_diff` compares. Declare one
+ * per bench main(), next to the StatsScope.
+ */
+class Baseline
+{
+  public:
+    explicit Baseline(std::string bench_name)
+        : name_(std::move(bench_name))
+    {}
+
+    ~Baseline()
+    {
+        maybeWriteCsv("BENCH_" + name_ + ".json",
+                      diff::baselineToJson(name_, series_));
+    }
+
+    void add(const std::string &series, double value)
+    {
+        series_.emplace_back(series, value);
+    }
+
+    void
+    addNodeRows(const std::string &dataset,
+                const std::vector<NodeExperimentRow> &rows)
+    {
+        for (const auto &row : rows)
+            addRow(dataset, modelName(row.model),
+                   frameworkName(row.framework), row.epochTime,
+                   row.totalTime, row.accuracy.mean, row.epochsRun);
+    }
+
+    void
+    addGraphRows(const std::string &dataset,
+                 const std::vector<GraphExperimentRow> &rows)
+    {
+        for (const auto &row : rows)
+            addRow(dataset, modelName(row.model),
+                   frameworkName(row.framework), row.epochTime,
+                   row.totalTime, row.accuracy.mean, row.epochsRun);
+    }
+
+    void
+    addProfileCells(const std::string &dataset,
+                    const std::vector<ProfileCell> &cells)
+    {
+        for (const auto &cell : cells) {
+            const std::string key =
+                dataset + "." + modelName(cell.model) + "/" +
+                frameworkName(cell.framework) + ".b" +
+                std::to_string(cell.batchSize);
+            add(key + ".gpu_utilization",
+                cell.profile.gpuUtilization);
+            add(key + ".epoch_s", cell.profile.breakdown.total());
+            add(key + ".kernels",
+                static_cast<double>(cell.profile.kernelsPerEpoch));
+        }
+    }
+
+  private:
+    void
+    addRow(const std::string &dataset, const char *model,
+           const char *fw, double epoch_s, double total_s, double acc,
+           int epochs)
+    {
+        const std::string key =
+            dataset + "." + model + "/" + fw;
+        add(key + ".epoch_s", epoch_s);
+        add(key + ".total_s", total_s);
+        add(key + ".acc_mean", acc);
+        add(key + ".epochs", epochs);
+    }
+
+    std::string name_;
+    std::vector<std::pair<std::string, double>> series_;
 };
 
 /** Cora at paper size (cheap enough at every scale). */

@@ -17,6 +17,7 @@ int
 main()
 {
     StatsScope stats_scope("fig5");
+    Baseline baseline("fig5");
     banner("Fig. 5 — GPU compute utilization (ENZYMES, DD)",
            "paper Fig. 5");
     const int epochs = static_cast<int>(envEpochs(1, 3));
@@ -30,6 +31,7 @@ main()
                                            cells).c_str());
         maybeWriteCsv("fig5_enzymes_util.csv",
                       profileGridCsv(enzymes.name, cells));
+        baseline.addProfileCells("enzymes", cells);
     }
     {
         GraphDataset dd = benchDD();
@@ -39,6 +41,7 @@ main()
                     renderUtilizationTable(dd.name, cells).c_str());
         maybeWriteCsv("fig5_dd_util.csv",
                       profileGridCsv(dd.name, cells));
+        baseline.addProfileCells("dd", cells);
     }
     return 0;
 }

@@ -20,6 +20,7 @@ int
 main()
 {
     StatsScope stats_scope("table4");
+    Baseline baseline("table4");
     banner("Table IV — node classification (Cora, PubMed)",
            "paper Table IV");
     const int seeds = static_cast<int>(envSeeds(2, 4));
@@ -33,6 +34,7 @@ main()
         std::printf("%s\n", renderNodeTable(cora.name, rows).c_str());
         maybeWriteCsv("table4_cora.csv",
                       nodeTableCsv(cora.name, rows));
+        baseline.addNodeRows("cora", rows);
     }
     {
         NodeDataset pubmed = benchPubMed();
@@ -41,6 +43,7 @@ main()
         std::printf("%s\n", renderNodeTable(pubmed.name, rows).c_str());
         maybeWriteCsv("table4_pubmed.csv",
                       nodeTableCsv(pubmed.name, rows));
+        baseline.addNodeRows("pubmed", rows);
     }
     return 0;
 }

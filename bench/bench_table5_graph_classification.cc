@@ -18,6 +18,7 @@ int
 main()
 {
     StatsScope stats_scope("table5");
+    Baseline baseline("table5");
     banner("Table V — graph classification (ENZYMES, DD)",
            "paper Table V");
     const int folds = static_cast<int>(envFolds(2, 10));
@@ -34,6 +35,7 @@ main()
                     renderGraphTable(enzymes.name, rows).c_str());
         maybeWriteCsv("table5_enzymes.csv",
                       graphTableCsv(enzymes.name, rows));
+        baseline.addGraphRows("enzymes", rows);
     }
     {
         GraphDataset dd = benchDD();
@@ -41,6 +43,7 @@ main()
                                            dd_epochs, /*seed=*/1);
         std::printf("%s\n", renderGraphTable(dd.name, rows).c_str());
         maybeWriteCsv("table5_dd.csv", graphTableCsv(dd.name, rows));
+        baseline.addGraphRows("dd", rows);
     }
     return 0;
 }

@@ -10,6 +10,7 @@
  *                  [--epochs N] [--folds N] [--seeds N]
  *                  [--graphs N] [--verbose]
  *                  [--stats-out FILE] [--events-out FILE]
+ *                  [--roofline-out FILE] [--bench-out FILE]
  *
  * Both frameworks are always run and compared side by side, as in the
  * paper's tables.
@@ -18,12 +19,24 @@
  * run; --events-out writes the per-epoch run-event log as JSONL.
  * Either flag turns stats sampling on for the process.
  *
+ * --roofline-out re-runs the configuration with per-epoch roofline
+ * attribution, prints the Fig-5-style utilization table plus the
+ * per-kernel breakdowns, and writes the JSON suite (obs/roofline.hh).
+ *
+ * --bench-out writes a BENCH baseline: the per-row performance series
+ * (epoch/total seconds, accuracy, epoch count) plus the per-framework
+ * stats counters, as the flat JSON `gnnperf_diff` compares. Turns
+ * stats sampling on.
+ *
  * Examples:
  *   run_experiment --task node --model GAT --dataset cora --epochs 100
  *   run_experiment --task graph --model GatedGCN --dataset enzymes \
  *                  --epochs 20 --folds 3
  *   run_experiment --task node --model GCN --dataset cora --epochs 3 \
  *                  --stats-out stats.json --events-out events.jsonl
+ *   run_experiment --task graph --model GatedGCN --dataset enzymes \
+ *                  --graphs 60 --epochs 2 --folds 1 \
+ *                  --roofline-out roofline.json --bench-out bench.json
  */
 
 #include <cstdio>
@@ -36,6 +49,8 @@
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "device/trace_export.hh"
+#include "obs/diff.hh"
+#include "obs/roofline.hh"
 #include "obs/stats.hh"
 #include "obs/stats_export.hh"
 
@@ -96,6 +111,51 @@ writeStatsOutputs(const std::map<std::string, std::string> &args)
     }
 }
 
+/** Print the roofline tables and write the JSON suite. */
+void
+writeRooflineOutputs(const std::string &path,
+                     const std::vector<RooflineReport> &suite)
+{
+    std::printf("%s\n", renderRooflineTable(suite).c_str());
+    for (const auto &report : suite) {
+        std::printf("%s\n%s\n", report.label.c_str(),
+                    renderRooflineKernels(report).c_str());
+    }
+    writeFile(path, rooflineSuiteToJson(suite));
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/**
+ * Per-framework stats counters worth gating on: the counters whose
+ * names carry the framework, so both frameworks' work shows up in one
+ * process-wide snapshot without double counting.
+ */
+void
+appendStatsSeries(std::vector<std::pair<std::string, double>> &series)
+{
+    static const char *kTracked[] = {
+        "backend.pyg.edges_touched", "backend.pyg.collate_bytes",
+        "backend.dgl.edges_touched", "backend.dgl.collate_bytes",
+        "backend.dgl.dispatch_ops", "kernel.spmm.nnz",
+    };
+    for (const auto &snap : stats::Registry::instance().snapshotAll()) {
+        for (const char *name : kTracked) {
+            if (snap.name == name)
+                series.emplace_back("stats." + snap.name, snap.value);
+        }
+    }
+}
+
+/** Write the BENCH baseline JSON for the run's rows. */
+void
+writeBenchOutput(const std::string &path, const std::string &bench_name,
+                 std::vector<std::pair<std::string, double>> series)
+{
+    appendStatsSeries(series);
+    writeFile(path, diff::baselineToJson(bench_name, series));
+    std::printf("wrote %s\n", path.c_str());
+}
+
 } // namespace
 
 int
@@ -108,7 +168,10 @@ main(int argc, char **argv)
     const std::string dataset_name =
         get(args, "dataset", task == "node" ? "cora" : "enzymes");
     const bool verbose = args.count("verbose") > 0;
-    if (args.count("stats-out") > 0 || args.count("events-out") > 0)
+    const std::string roofline_path = get(args, "roofline-out", "");
+    const std::string bench_path = get(args, "bench-out", "");
+    if (args.count("stats-out") > 0 || args.count("events-out") > 0 ||
+        !bench_path.empty())
         stats::setSamplingEnabled(true);
 
     if (task == "node") {
@@ -126,6 +189,26 @@ main(int argc, char **argv)
         auto rows = runNodeClassification(ds, {model}, seeds, epochs,
                                           verbose);
         std::printf("%s\n", renderNodeTable(ds.name, rows).c_str());
+        if (!bench_path.empty()) {
+            std::vector<std::pair<std::string, double>> series;
+            for (const auto &row : rows) {
+                const std::string key =
+                    std::string(modelName(row.model)) + "/" +
+                    frameworkName(row.framework);
+                series.emplace_back(key + ".epoch_s", row.epochTime);
+                series.emplace_back(key + ".total_s", row.totalTime);
+                series.emplace_back(key + ".acc_mean",
+                                    row.accuracy.mean);
+                series.emplace_back(key + ".epochs", row.epochsRun);
+            }
+            writeBenchOutput(bench_path, "node_" + dataset_name,
+                             std::move(series));
+        }
+        if (!roofline_path.empty()) {
+            writeRooflineOutputs(
+                roofline_path,
+                runNodeRoofline(ds, {model}, epochs, /*seed=*/1000));
+        }
         writeStatsOutputs(args);
         return 0;
     }
@@ -151,6 +234,27 @@ main(int argc, char **argv)
         auto rows = runGraphClassification(ds, {model}, folds, epochs,
                                            /*seed=*/1, verbose);
         std::printf("%s\n", renderGraphTable(ds.name, rows).c_str());
+        if (!bench_path.empty()) {
+            std::vector<std::pair<std::string, double>> series;
+            for (const auto &row : rows) {
+                const std::string key =
+                    std::string(modelName(row.model)) + "/" +
+                    frameworkName(row.framework);
+                series.emplace_back(key + ".epoch_s", row.epochTime);
+                series.emplace_back(key + ".total_s", row.totalTime);
+                series.emplace_back(key + ".acc_mean",
+                                    row.accuracy.mean);
+                series.emplace_back(key + ".epochs", row.epochsRun);
+            }
+            writeBenchOutput(bench_path, "graph_" + dataset_name,
+                             std::move(series));
+        }
+        if (!roofline_path.empty()) {
+            writeRooflineOutputs(
+                roofline_path,
+                runGraphRoofline(ds, {model}, epochs,
+                                 /*batch_size=*/0, /*seed=*/1));
+        }
         writeStatsOutputs(args);
         return 0;
     }

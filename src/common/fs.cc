@@ -1,0 +1,56 @@
+#include "common/fs.hh"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+
+namespace gnnperf {
+
+namespace {
+
+bool
+isDir(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+} // namespace
+
+bool
+ensureDir(const std::string &path)
+{
+    if (path.empty() || isDir(path))
+        return !path.empty();
+    // Create parents first: walk the path, making each prefix.
+    for (std::size_t pos = 1; pos < path.size(); ++pos) {
+        if (path[pos] != '/')
+            continue;
+        const std::string prefix = path.substr(0, pos);
+        if (!isDir(prefix) &&
+            ::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
+        return false;
+    return isDir(path);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        return false;
+    out = buf.str();
+    return true;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Small filesystem helpers shared by the artifact writers (table CSVs,
+ * stats snapshots, roofline reports, bench baselines) and the diff
+ * tool's loaders.
+ */
+
+#ifndef GNNPERF_COMMON_FS_HH
+#define GNNPERF_COMMON_FS_HH
+
+#include <string>
+
+namespace gnnperf {
+
+/**
+ * Create a directory (and any missing parents), mkdir -p style.
+ * Returns true when the directory exists on exit.
+ */
+bool ensureDir(const std::string &path);
+
+/**
+ * Read a whole file into `out`. Returns false (leaving `out`
+ * untouched) when the file cannot be opened or read.
+ */
+bool readFile(const std::string &path, std::string &out);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_COMMON_FS_HH

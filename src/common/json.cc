@@ -1,0 +1,276 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_utils.hh"
+
+namespace gnnperf {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    static const JsonValue null_value;
+    const JsonValue *v = find(key);
+    return v ? *v : null_value;
+}
+
+namespace {
+
+/** Cursor over the input with error reporting. */
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = strprintf("%s at byte %zu", what.c_str(), pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text.compare(pos, len, word) != 0)
+            return fail("invalid literal");
+        pos += len;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, int depth);
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape");
+                }
+                // UTF-8 encode the code point (surrogate pairs are
+                // passed through as two 3-byte sequences; exporters
+                // never emit them, so lossless handling is not worth
+                // the complexity here).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("invalid escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (consume('-')) {}
+        if (!(pos < text.size() && std::isdigit(
+                  static_cast<unsigned char>(text[pos]))))
+            return fail("invalid number");
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (consume('.')) {
+            if (!(pos < text.size() && std::isdigit(
+                      static_cast<unsigned char>(text[pos]))))
+                return fail("invalid number fraction");
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (!(pos < text.size() && std::isdigit(
+                      static_cast<unsigned char>(text[pos]))))
+                return fail("invalid number exponent");
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        out.type = JsonValue::Type::Number;
+        out.number = std::strtod(text.c_str() + start, nullptr);
+        return true;
+    }
+};
+
+constexpr int kMaxDepth = 64;
+
+bool
+Parser::parseValue(JsonValue &out, int depth)
+{
+    if (depth > kMaxDepth)
+        return fail("nesting too deep");
+    skipWs();
+    if (pos >= text.size())
+        return fail("unexpected end of input");
+    switch (text[pos]) {
+      case '{': {
+        ++pos;
+        out.type = JsonValue::Type::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos;
+        out.type = JsonValue::Type::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.array.push_back(std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.type = JsonValue::Type::String;
+        return parseString(out.str);
+      case 't':
+        out.type = JsonValue::Type::Bool;
+        out.boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out.type = JsonValue::Type::Bool;
+        out.boolean = false;
+        return literal("false", 5);
+      case 'n':
+        out.type = JsonValue::Type::Null;
+        return literal("null", 4);
+      default:
+        return parseNumber(out);
+    }
+}
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    Parser p{text, /*pos=*/0, /*error=*/{}};
+    out = JsonValue{};
+    bool ok = p.parseValue(out, 0);
+    if (ok) {
+        p.skipWs();
+        if (p.pos != text.size())
+            ok = p.fail("trailing garbage");
+    }
+    if (!ok && error)
+        *error = p.error;
+    return ok;
+}
+
+} // namespace gnnperf

@@ -148,6 +148,67 @@ runLayerwiseProfile(const GraphDataset &dataset,
     return cells;
 }
 
+std::vector<RooflineReport>
+runGraphRoofline(const GraphDataset &dataset,
+                 const std::vector<ModelKind> &models, int epochs,
+                 int64_t batch_size, uint64_t seed)
+{
+    std::vector<FoldSplit> splits =
+        stratifiedKFold(dataset.labels(), 10, seed);
+    const FoldSplit &fold = splits.front();
+
+    std::vector<RooflineReport> suite;
+    for (ModelKind kind : models) {
+        for (FrameworkKind fw : allFrameworks()) {
+            const Backend &backend = getBackend(fw);
+            RooflineAnalyzer analyzer(
+                CostModel::defaultModel(), backend.dispatchOverhead(),
+                std::string(modelName(kind)) + "/" +
+                    frameworkName(fw));
+            TrainOptions opts;
+            opts.maxEpochs = epochs;
+            opts.batchSize = batch_size;
+            opts.seed = seed;
+            opts.traceObserver =
+                [&analyzer](const Trace &trace,
+                            const std::vector<std::string> &names) {
+                    analyzer.addTrace(trace, names);
+                };
+            trainGraphTask(kind, backend, dataset, fold, opts);
+            suite.push_back(analyzer.report());
+        }
+    }
+    return suite;
+}
+
+std::vector<RooflineReport>
+runNodeRoofline(const NodeDataset &dataset,
+                const std::vector<ModelKind> &models, int epochs,
+                uint64_t seed)
+{
+    std::vector<RooflineReport> suite;
+    for (ModelKind kind : models) {
+        for (FrameworkKind fw : allFrameworks()) {
+            const Backend &backend = getBackend(fw);
+            RooflineAnalyzer analyzer(
+                CostModel::defaultModel(), backend.dispatchOverhead(),
+                std::string(modelName(kind)) + "/" +
+                    frameworkName(fw));
+            TrainOptions opts;
+            opts.maxEpochs = epochs;
+            opts.seed = seed;
+            opts.traceObserver =
+                [&analyzer](const Trace &trace,
+                            const std::vector<std::string> &names) {
+                    analyzer.addTrace(trace, names);
+                };
+            trainNodeTask(kind, backend, dataset, opts);
+            suite.push_back(analyzer.report());
+        }
+    }
+    return suite;
+}
+
 namespace {
 
 /**

@@ -13,6 +13,7 @@
 #include "data/citation.hh"
 #include "data/mnist_superpixel.hh"
 #include "data/tu_dataset.hh"
+#include "obs/roofline.hh"
 
 namespace gnnperf {
 
@@ -92,6 +93,23 @@ runMultiGpuScaling(const GraphDataset &dataset,
                    const std::vector<ModelKind> &models,
                    const std::vector<int64_t> &batch_sizes,
                    const std::vector<int> &gpu_counts, uint64_t seed);
+
+/**
+ * Roofline attribution for model × framework on a graph dataset: each
+ * configuration trains for `epochs` mini-batch epochs while every
+ * epoch's trace is classified (obs/roofline.hh). One report per
+ * configuration, labelled "Model/Framework".
+ */
+std::vector<RooflineReport>
+runGraphRoofline(const GraphDataset &dataset,
+                 const std::vector<ModelKind> &models, int epochs,
+                 int64_t batch_size, uint64_t seed);
+
+/** Roofline attribution for the transductive node task. */
+std::vector<RooflineReport>
+runNodeRoofline(const NodeDataset &dataset,
+                const std::vector<ModelKind> &models, int epochs,
+                uint64_t seed);
 
 } // namespace gnnperf
 

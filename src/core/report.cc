@@ -1,6 +1,7 @@
 #include "core/report.hh"
 
 #include "common/env.hh"
+#include "common/fs.hh"
 #include "common/logging.hh"
 #include "common/string_utils.hh"
 #include "common/table.hh"
@@ -258,6 +259,11 @@ maybeWriteCsv(const std::string &filename, const std::string &content)
     const std::string dir = envString("GNNPERF_CSV_DIR", "");
     if (dir.empty())
         return;
+    if (!ensureDir(dir)) {
+        gnnperf_fatal("GNNPERF_CSV_DIR=", dir,
+                      ": not a directory and could not be created — "
+                      "refusing to drop ", filename);
+    }
     const std::string path = dir + "/" + filename;
     writeFile(path, content);
     gnnperf_inform("wrote ", path);

@@ -93,15 +93,17 @@ class ProfileAccumulator
     std::vector<std::string> layerNames_;
 };
 
-/** Replay the current trace and clear it. */
+/** Replay the current trace, hand it to any observer, and clear it. */
 TimelineResult
-replayAndClear(const Backend &backend)
+replayAndClear(const Backend &backend, const TrainOptions &opts)
 {
     Profiler &prof = Profiler::instance();
     TimelineResult t = Timeline::replay(prof.trace(),
                                         CostModel::defaultModel(),
                                         backend.dispatchOverhead(),
                                         prof.layerNames());
+    if (opts.traceObserver)
+        opts.traceObserver(prof.trace(), prof.layerNames());
     prof.clearTrace();
     return t;
 }
@@ -187,7 +189,7 @@ trainNodeTask(ModelKind kind, const Backend &backend,
         const double test_acc =
             accuracy(eval_logits, batch.nodeLabels, batch.testIdx);
 
-        TimelineResult t = replayAndClear(backend);
+        TimelineResult t = replayAndClear(backend, opts);
         acc.add(t);
         total_time += t.elapsed;
         ++result.epochsRun;
@@ -327,7 +329,7 @@ trainGraphTask(ModelKind kind, const Backend &backend,
         scheduler.step(val_loss);
         result.finalValLoss = val_loss;
 
-        TimelineResult t = replayAndClear(backend);
+        TimelineResult t = replayAndClear(backend, opts);
         acc.add(t);
         total_time += t.elapsed;
         ++result.epochsRun;

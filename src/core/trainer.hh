@@ -20,6 +20,7 @@
 #ifndef GNNPERF_CORE_TRAINER_HH
 #define GNNPERF_CORE_TRAINER_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,15 @@ struct GraphTrainResult
     ProfileResult profile;
 };
 
+/**
+ * Called once per training epoch with the epoch's trace (before it is
+ * cleared) and the profiler's interned layer names — the hook the
+ * roofline attribution drivers use to see every record.
+ */
+using EpochTraceObserver =
+    std::function<void(const Trace &,
+                       const std::vector<std::string> &layer_names)>;
+
 /** Knobs shared by the drivers. */
 struct TrainOptions
 {
@@ -91,6 +101,7 @@ struct TrainOptions
     int64_t batchSize = 0;    ///< 0 = use the hyperparameter table
     uint64_t seed = 1;        ///< data/shuffle/init seed
     bool verbose = false;
+    EpochTraceObserver traceObserver;  ///< optional per-epoch hook
 };
 
 /** Full-batch transductive training (Table IV protocol). */

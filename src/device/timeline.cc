@@ -16,7 +16,8 @@ PhaseTimes::total() const
 TimelineResult
 Timeline::replay(const Trace &trace, const CostModel &model,
                  double dispatch_overhead,
-                 std::vector<std::string> layer_names)
+                 std::vector<std::string> layer_names,
+                 const RecordVisitor &visitor)
 {
     TimelineResult result;
     result.layerNames = std::move(layer_names);
@@ -48,14 +49,23 @@ Timeline::replay(const Trace &trace, const CostModel &model,
             result.phaseGpuBusy[k.phase] += duration;
             double new_frontier = std::max(host, gpuFree);
             attribute(k.phase, k.layer, new_frontier - frontier);
+            if (visitor) {
+                visitor(RecordTiming{entry, start, duration,
+                                     new_frontier - frontier});
+            }
             frontier = new_frontier;
         } else {
             const auto &h = entry.host;
             double duration = model.hostTime(h);
+            double start = host;
             host += duration;
             result.hostBusy += duration;
             double new_frontier = std::max(host, gpuFree);
             attribute(h.phase, h.layer, new_frontier - frontier);
+            if (visitor) {
+                visitor(RecordTiming{entry, start, duration,
+                                     new_frontier - frontier});
+            }
             frontier = new_frontier;
         }
     }

@@ -26,6 +26,7 @@
 #define GNNPERF_DEVICE_TIMELINE_HH
 
 #include <array>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,25 @@ struct TimelineResult
 };
 
 /**
+ * Scheduling of one record during a replay, handed to a RecordVisitor.
+ * For kernels `start`/`duration` describe the on-GPU execution (host
+ * dispatch excluded); for host ops they describe the host execution.
+ * `frontierDelta` is the amount this record advanced the elapsed-time
+ * frontier — summing it over a replay reproduces `elapsed` exactly,
+ * which is what makes per-record attributions add up to 100%.
+ */
+struct RecordTiming
+{
+    const TraceEntry &entry;
+    double start = 0.0;
+    double duration = 0.0;
+    double frontierDelta = 0.0;
+};
+
+/** Per-record callback invoked by Timeline::replay in trace order. */
+using RecordVisitor = std::function<void(const RecordTiming &)>;
+
+/**
  * Stateless trace pricer.
  */
 class Timeline
@@ -90,11 +110,15 @@ class Timeline
      * @param dispatch_overhead per-kernel host dispatch seconds
      *        (framework specific; see Backend::dispatchOverhead())
      * @param layer_names interned layer names from the Profiler
+     * @param visitor optional per-record observer: called once per
+     *        trace entry with its priced placement (the roofline
+     *        engine classifies records through this hook)
      */
     static TimelineResult replay(const Trace &trace,
                                  const CostModel &model,
                                  double dispatch_overhead,
-                                 std::vector<std::string> layer_names = {});
+                                 std::vector<std::string> layer_names = {},
+                                 const RecordVisitor &visitor = {});
 };
 
 } // namespace gnnperf

@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <set>
 
 #include "common/env.hh"
+#include "common/fs.hh"
 #include "common/random.hh"
 #include "common/string_utils.hh"
 #include "common/table.hh"
@@ -228,4 +230,31 @@ TEST(Env, EpochKnobHonoursScale)
     EXPECT_EQ(envEpochs(10, 200), 33);
     ::unsetenv("GNNPERF_EPOCHS");
     ::unsetenv("GNNPERF_SCALE");
+}
+
+TEST(Fs, EnsureDirCreatesNestedAndIsIdempotent)
+{
+    const std::string root = ::testing::TempDir() + "gnnperf_fs_test";
+    const std::string nested = root + "/a/b/c";
+    EXPECT_TRUE(ensureDir(nested));
+    EXPECT_TRUE(ensureDir(nested));  // already exists
+
+    std::string payload;
+    EXPECT_FALSE(readFile(nested + "/missing.txt", payload));
+}
+
+TEST(Fs, EnsureDirRefusesRegularFile)
+{
+    const std::string path = ::testing::TempDir() + "gnnperf_fs_file";
+    FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("x", f);
+    std::fclose(f);
+    EXPECT_FALSE(ensureDir(path));
+    EXPECT_FALSE(ensureDir(path + "/sub"));
+
+    std::string payload;
+    EXPECT_TRUE(readFile(path, payload));
+    EXPECT_EQ(payload, "x");
+    std::remove(path.c_str());
 }

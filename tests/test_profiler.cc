@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "device/profiler.hh"
 #include "device/timeline.hh"
 
@@ -94,6 +96,24 @@ TEST_F(ProfilerFixture, LayerNamesStableAcrossEpochs)
         LayerScope s("conv1");
     }
     EXPECT_EQ(Profiler::instance().layerNames().size(), 1u);
+}
+
+TEST_F(ProfilerFixture, ScopesUnwindOnException)
+{
+    // RAII guards must restore phase and layer when an exception
+    // unwinds a model's forward pass mid-scope.
+    try {
+        PhaseScope phase(Phase::Forward);
+        LayerScope layer("conv1");
+        throw std::runtime_error("boom");
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_EQ(Profiler::instance().phase(), Phase::Other);
+    recordKernel("after", 1.0, 1.0);
+    const auto &entries = Profiler::instance().trace().entries();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].kernel.layer, -1);
+    EXPECT_EQ(entries[0].kernel.phase, Phase::Other);
 }
 
 TEST_F(ProfilerFixture, TraceAggregates)

@@ -169,6 +169,62 @@ TEST_F(StatsTest, LateRegistrationPadsSeries)
     }
 }
 
+TEST_F(StatsTest, ZeroSampleEpochEmitsZeroDeltaNotStaleValue)
+{
+    stats::Registry &reg = stats::Registry::instance();
+    stats::Counter &c = stats::counter("test.zero_epoch");
+    stats::Distribution &d = stats::distribution("test.zero_epoch_dist");
+
+    c.inc(7);
+    d.sample(3.0);
+    reg.rollEpoch();
+    // Nothing sampled this epoch: the series must record zero
+    // activity, not repeat the cumulative value from epoch 0.
+    reg.rollEpoch();
+
+    for (const auto &m : reg.snapshotAll()) {
+        if (m.name == "test.zero_epoch") {
+            ASSERT_EQ(m.series.size(), 2u);
+            EXPECT_DOUBLE_EQ(m.series[0], 7.0);
+            EXPECT_DOUBLE_EQ(m.series[1], 0.0);
+        } else if (m.name == "test.zero_epoch_dist") {
+            ASSERT_EQ(m.series.size(), 2u);
+            EXPECT_DOUBLE_EQ(m.series[0], 1.0);
+            EXPECT_DOUBLE_EQ(m.series[1], 0.0);
+        }
+    }
+}
+
+TEST_F(StatsTest, CsvStaysRectangularWithMidRunRegistration)
+{
+    stats::Registry &reg = stats::Registry::instance();
+    stats::counter("test.csv_early").inc(2);
+    reg.rollEpoch();
+    // A counter born after epoch 0 has already rolled must backfill
+    // its column instead of shearing the table.
+    stats::counter("test.csv_midrun").inc(5);
+    reg.rollEpoch();
+
+    const std::string csv = stats::statsSeriesToCsv();
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < csv.size()) {
+        const std::size_t nl = csv.find('\n', start);
+        lines.push_back(csv.substr(start, nl - start));
+        if (nl == std::string::npos)
+            break;
+        start = nl + 1;
+    }
+    if (!lines.empty() && lines.back().empty())
+        lines.pop_back();
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[0].find("test.csv_early"), std::string::npos);
+    EXPECT_NE(lines[0].find("test.csv_midrun"), std::string::npos);
+    const std::size_t commas = countOf(lines[0], ",");
+    for (std::size_t i = 1; i < lines.size(); ++i)
+        EXPECT_EQ(countOf(lines[i], ","), commas) << lines[i];
+}
+
 TEST_F(StatsTest, RollEpochIsNoOpWhenDisabled)
 {
     stats::Registry &reg = stats::Registry::instance();

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * gnnperf_diff — the run-diff perf gate.
+ *
+ * Compares two machine-readable run artifacts (stats snapshots,
+ * roofline reports/suites, BENCH baselines — any exporter JSON) and
+ * exits non-zero when a tracked series regressed beyond the
+ * threshold, so CI can gate on it directly.
+ *
+ * Usage:
+ *   gnnperf_diff BASELINE.json CURRENT.json
+ *                [--threshold 0.20] [--noise-floor 1e-12]
+ *                [--only SUBSTR]... [--ignore SUBSTR]...
+ *                [--higher-better SUBSTR]... [--all]
+ *
+ * --only / --ignore filter series by substring (repeatable). Series
+ * matching a --higher-better pattern regress on a *decrease*
+ * (defaults: "acc", "utilization"). --all lists unchanged series too.
+ *
+ * Exit codes: 0 = no regressions, 1 = regressions found, 2 = bad
+ * usage or unreadable/unparsable input.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/fs.hh"
+#include "common/json.hh"
+#include "obs/diff.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s BASELINE.json CURRENT.json "
+                 "[--threshold F] [--noise-floor F] [--only S]... "
+                 "[--ignore S]... [--higher-better S]... [--all]\n",
+                 argv0);
+    return 2;
+}
+
+bool
+loadJson(const char *path, JsonValue &out)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "gnnperf_diff: cannot read %s\n", path);
+        return false;
+    }
+    std::string error;
+    if (!parseJson(text, out, &error)) {
+        std::fprintf(stderr, "gnnperf_diff: %s: %s\n", path,
+                     error.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *paths[2] = {nullptr, nullptr};
+    int npaths = 0;
+    diff::DiffOptions opts;
+    bool all = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threshold") {
+            opts.relThreshold = std::atof(value());
+        } else if (arg == "--noise-floor") {
+            opts.noiseFloor = std::atof(value());
+        } else if (arg == "--only") {
+            opts.only.push_back(value());
+        } else if (arg == "--ignore") {
+            opts.ignore.push_back(value());
+        } else if (arg == "--higher-better") {
+            opts.higherIsBetter.push_back(value());
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage(argv[0]);
+        } else if (npaths < 2) {
+            paths[npaths++] = argv[i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (npaths != 2)
+        return usage(argv[0]);
+
+    JsonValue baseline, current;
+    if (!loadJson(paths[0], baseline) || !loadJson(paths[1], current))
+        return 2;
+
+    diff::RunDiff result = diff::compareRuns(baseline, current, opts);
+    std::printf("%s", diff::renderRunDiff(result, all).c_str());
+    if (!result.ok()) {
+        std::printf("FAIL: %zu series regressed beyond %.0f%%\n",
+                    result.regressions(), opts.relThreshold * 100.0);
+        return 1;
+    }
+    std::printf("OK: no series regressed beyond %.0f%%\n",
+                opts.relThreshold * 100.0);
+    return 0;
+}
