@@ -72,6 +72,7 @@ class Baseline
 
     ~Baseline()
     {
+        appendAllocatorSeries(series_);
         maybeWriteCsv("BENCH_" + name_ + ".json",
                       diff::baselineToJson(name_, series_));
     }

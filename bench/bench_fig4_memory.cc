@@ -40,8 +40,10 @@ main()
         maybeWriteCsv("fig4_dd_memory.csv",
                       profileGridCsv(dd.name, cells));
     }
-    std::printf("Note: values are live-tensor peaks; nvidia-smi (the "
-                "paper's tool) additionally reports the ~0.5 GiB CUDA "
-                "context.\n");
+    std::printf("Note: 'Peak' is the logical live-tensor high-water "
+                "mark (allocator-invariant); 'Reserved' is the "
+                "allocator pool's high-water mark — the number "
+                "nvidia-smi (the paper's tool) actually sees, minus "
+                "the ~0.5 GiB CUDA context.\n");
     return 0;
 }

@@ -19,6 +19,7 @@
 #include "backends/backend.hh"
 #include "common/random.hh"
 #include "data/tu_dataset.hh"
+#include "device/device.hh"
 #include "device/profiler.hh"
 #include "graph/edge_softmax.hh"
 #include "graph/scatter.hh"
@@ -167,6 +168,48 @@ BM_EdgeSoftmaxDglFused(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EdgeSoftmaxDglFused);
+
+/**
+ * Allocator ablation: the same aggregation kernel loop under the
+ * direct and the caching allocator. The loop's intermediates churn
+ * through the allocator every iteration, so the caching pool turns
+ * almost all backing (device) allocations into cache hits while the
+ * logical bytes stay identical.
+ */
+void
+BM_AggregateAllocator(benchmark::State &state, AllocatorKind which)
+{
+    DeviceManager &dm = DeviceManager::instance();
+    const AllocatorKind saved = dm.allocatorKind(DeviceKind::Cuda);
+    dm.setAllocator(which);
+    dm.emptyCaches();
+    {
+        BatchFixture fix(64, 64, FrameworkKind::PyG);
+        Backend &backend = getBackend(FrameworkKind::PyG);
+        const MemoryStats &s = dm.stats(DeviceKind::Cuda);
+        const std::size_t allocs0 = s.allocCount;
+        const std::size_t hits0 = s.cacheHits;
+        const std::size_t acquires0 = s.acquireCount;
+        for (auto _ : state) {
+            Var out = backend.aggregate(fix.batch, Var(fix.features),
+                                        Reduce::Sum);
+            benchmark::DoNotOptimize(out.value().data());
+        }
+        const auto iters = static_cast<double>(state.iterations());
+        state.counters["device_allocs_per_iter"] =
+            static_cast<double>(s.allocCount - allocs0) / iters;
+        state.counters["cache_hits_per_iter"] =
+            static_cast<double>(s.cacheHits - hits0) / iters;
+        state.counters["acquires_per_iter"] =
+            static_cast<double>(s.acquireCount - acquires0) / iters;
+    }
+    dm.emptyCaches();
+    dm.setAllocator(saved);
+}
+BENCHMARK_CAPTURE(BM_AggregateAllocator, direct,
+                  AllocatorKind::Direct);
+BENCHMARK_CAPTURE(BM_AggregateAllocator, caching,
+                  AllocatorKind::Caching);
 
 void
 BM_Sgemm(benchmark::State &state)

@@ -9,11 +9,17 @@
  *                  [--dataset cora|pubmed|enzymes|dd|mnist]
  *                  [--epochs N] [--folds N] [--seeds N]
  *                  [--graphs N] [--verbose]
+ *                  [--allocator direct|caching]
  *                  [--stats-out FILE] [--events-out FILE]
  *                  [--roofline-out FILE] [--bench-out FILE]
  *
  * Both frameworks are always run and compared side by side, as in the
- * paper's tables.
+ * paper's tables. Flags accept both `--key value` and `--key=value`.
+ *
+ * --allocator selects the device allocator for the process (default:
+ * caching; GNNPERF_ALLOCATOR overrides the default). Logical peak
+ * memory (the Fig. 4 number) is allocator-invariant; only the
+ * reserved-pool numbers and device allocation counts change.
  *
  * --stats-out writes the metrics registry's JSON snapshot after the
  * run; --events-out writes the per-epoch run-event log as JSONL.
@@ -48,6 +54,7 @@
 #include "common/string_utils.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "device/device.hh"
 #include "device/trace_export.hh"
 #include "obs/diff.hh"
 #include "obs/roofline.hh"
@@ -58,7 +65,7 @@ using namespace gnnperf;
 
 namespace {
 
-/** Minimal --key value parser. */
+/** Minimal parser accepting --key value and --key=value. */
 std::map<std::string, std::string>
 parseArgs(int argc, char **argv)
 {
@@ -68,7 +75,10 @@ parseArgs(int argc, char **argv)
         if (key.rfind("--", 0) != 0)
             gnnperf_fatal("unexpected argument: ", key);
         key = key.substr(2);
-        if (key == "verbose") {
+        const std::size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+            args[key.substr(0, eq)] = key.substr(eq + 1);
+        } else if (key == "verbose") {
             args[key] = "1";
         } else {
             if (i + 1 >= argc)
@@ -152,6 +162,7 @@ writeBenchOutput(const std::string &path, const std::string &bench_name,
                  std::vector<std::pair<std::string, double>> series)
 {
     appendStatsSeries(series);
+    appendAllocatorSeries(series);
     writeFile(path, diff::baselineToJson(bench_name, series));
     std::printf("wrote %s\n", path.c_str());
 }
@@ -168,6 +179,11 @@ main(int argc, char **argv)
     const std::string dataset_name =
         get(args, "dataset", task == "node" ? "cora" : "enzymes");
     const bool verbose = args.count("verbose") > 0;
+    const std::string allocator = get(args, "allocator", "");
+    if (!allocator.empty()) {
+        DeviceManager::instance().setAllocator(
+            allocatorKindFromName(allocator));
+    }
     const std::string roofline_path = get(args, "roofline-out", "");
     const std::string bench_path = get(args, "bench-out", "");
     if (args.count("stats-out") > 0 || args.count("events-out") > 0 ||

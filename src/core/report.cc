@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/string_utils.hh"
 #include "common/table.hh"
+#include "device/device.hh"
 #include "device/trace_export.hh"
 #include "obs/stats.hh"
 #include "obs/stats_export.hh"
@@ -103,7 +104,7 @@ renderMemoryTable(const std::string &dataset_name,
 {
     TextTable table;
     table.setHeader({"Dataset", "Config", ">Batch", ">Peak mem",
-                     ">Peak (MiB)"});
+                     ">Peak (MiB)", ">Reserved (MiB)"});
     for (const auto &cell : cells) {
         table.addRow({dataset_name,
                       cellKey(cell.model, cell.framework),
@@ -112,6 +113,10 @@ renderMemoryTable(const std::string &dataset_name,
                       strprintf("%.1f",
                                 static_cast<double>(
                                     cell.profile.peakMemoryBytes) /
+                                    (1024.0 * 1024.0)),
+                      strprintf("%.1f",
+                                static_cast<double>(
+                                    cell.profile.reservedPeakBytes) /
                                     (1024.0 * 1024.0))});
     }
     return table.render();
@@ -209,17 +214,19 @@ profileGridCsv(const std::string &dataset_name,
 {
     std::string out =
         "dataset,model,framework,batch,load_s,forward_s,backward_s,"
-        "update_s,other_s,epoch_s,gpu_util,peak_bytes,kernels\n";
+        "update_s,other_s,epoch_s,gpu_util,peak_bytes,"
+        "reserved_peak_bytes,kernels\n";
     for (const auto &cell : cells) {
         const EpochBreakdown &b = cell.profile.breakdown;
         out += strprintf(
-            "%s,%s,%s,%ld,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f,%zu,"
+            "%s,%s,%s,%ld,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f,%zu,%zu,"
             "%zu\n",
             dataset_name.c_str(), modelName(cell.model),
             frameworkName(cell.framework), cell.batchSize,
             b.dataLoading, b.forward, b.backward, b.update, b.other,
             b.total(), cell.profile.gpuUtilization,
             cell.profile.peakMemoryBytes,
+            cell.profile.reservedPeakBytes,
             cell.profile.kernelsPerEpoch);
     }
     return out;
@@ -267,6 +274,24 @@ maybeWriteCsv(const std::string &filename, const std::string &content)
     const std::string path = dir + "/" + filename;
     writeFile(path, content);
     gnnperf_inform("wrote ", path);
+}
+
+void
+appendAllocatorSeries(
+    std::vector<std::pair<std::string, double>> &series)
+{
+    const MemoryStats &s =
+        DeviceManager::instance().stats(DeviceKind::Cuda);
+    series.emplace_back("alloc.cuda.acquires",
+                        static_cast<double>(s.acquireCount));
+    series.emplace_back("alloc.cuda.device_allocs",
+                        static_cast<double>(s.allocCount));
+    series.emplace_back("alloc.cuda.cache_hits",
+                        static_cast<double>(s.cacheHits));
+    series.emplace_back("alloc.cuda.logical_peak",
+                        static_cast<double>(s.peakBytes));
+    series.emplace_back("alloc.cuda.reserved_peak",
+                        static_cast<double>(s.reservedPeak));
 }
 
 void

@@ -69,6 +69,15 @@ void maybeWriteCsv(const std::string &filename,
                    const std::string &content);
 
 /**
+ * Append the process-wide Cuda allocator series (logical/reserved
+ * peaks, acquisition and backing-allocation counts, cache hits) to a
+ * BENCH series list. Reads DeviceManager's MemoryStats directly, so it
+ * works with stats sampling off.
+ */
+void appendAllocatorSeries(
+    std::vector<std::pair<std::string, double>> &series);
+
+/**
  * When GNNPERF_CSV_DIR is set and stats sampling is on, write the
  * registry's JSON snapshot (`<prefix>_stats.json`), per-epoch series
  * CSV (`<prefix>_stats_epochs.csv`) and run-event log

@@ -72,7 +72,10 @@ class ProfileAccumulator
         p.gpuUtilization =
             p.epochTime > 0.0 ? (busy_ * inv) / p.epochTime : 0.0;
         p.kernelsPerEpoch = kernels_ / epochs_;
-        p.peakMemoryBytes = DeviceManager::instance().cudaPeak();
+        p.peakMemoryBytes =
+            DeviceManager::instance().peak(DeviceKind::Cuda);
+        p.reservedPeakBytes =
+            DeviceManager::instance().reservedPeak(DeviceKind::Cuda);
         const double iter_inv =
             iterations_per_epoch > 0
                 ? inv / static_cast<double>(iterations_per_epoch) : inv;
@@ -131,7 +134,10 @@ trainNodeTask(ModelKind kind, const Backend &backend,
     Profiler &prof = Profiler::instance();
     prof.reset();
     prof.setEnabled(true);
-    DeviceManager::instance().resetCudaPeak();
+    // Like torch.cuda.empty_cache() before measuring: drop pool bytes
+    // reserved by earlier configs so both peaks describe this run.
+    DeviceManager::instance().emptyCaches();
+    DeviceManager::instance().resetPeak(DeviceKind::Cuda);
 
     Hyperparameters hp = nodeTaskHyperparameters(
         kind, dataset.numFeatures, dataset.numClasses, opts.seed);
@@ -195,6 +201,9 @@ trainNodeTask(ModelKind kind, const Backend &backend,
         ++result.epochsRun;
         stats::counter("trainer.epochs").inc();
         stats::Registry::instance().rollEpoch();
+        // Epoch boundary: return cached blocks unused for a whole
+        // epoch to the system (bounds pool growth across epochs).
+        DeviceManager::instance().trimCaches();
 
         if (val_acc > best_val) {
             best_val = val_acc;
@@ -295,7 +304,8 @@ trainGraphTask(ModelKind kind, const Backend &backend,
     Profiler &prof = Profiler::instance();
     prof.reset();
     prof.setEnabled(true);
-    DeviceManager::instance().resetCudaPeak();
+    DeviceManager::instance().emptyCaches();
+    DeviceManager::instance().resetPeak(DeviceKind::Cuda);
 
     Hyperparameters hp = graphTaskHyperparameters(
         kind, dataset.numFeatures, dataset.numClasses, opts.seed);
@@ -335,6 +345,9 @@ trainGraphTask(ModelKind kind, const Backend &backend,
         ++result.epochsRun;
         stats::counter("trainer.epochs").inc();
         stats::Registry::instance().rollEpoch();
+        // Epoch boundary: return cached blocks unused for a whole
+        // epoch to the system (bounds pool growth across epochs).
+        DeviceManager::instance().trimCaches();
 
         if (opts.verbose && epoch % 10 == 0) {
             gnnperf_inform(model->name(), "/", backend.name(),

@@ -57,7 +57,8 @@ struct ProfileResult
     double epochTime = 0.0;       ///< avg simulated training epoch
     EpochBreakdown breakdown;     ///< avg per epoch
     double gpuUtilization = 0.0;  ///< busy / elapsed over training
-    std::size_t peakMemoryBytes = 0;
+    std::size_t peakMemoryBytes = 0;     ///< logical live-tensor peak
+    std::size_t reservedPeakBytes = 0;   ///< pool (nvidia-smi-like) peak
     std::size_t kernelsPerEpoch = 0;
     /** Forward-pass time per layer scope, avg per iteration. */
     std::vector<std::pair<std::string, double>> layerTimes;

@@ -1,0 +1,202 @@
+#include "device/allocator.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace gnnperf {
+
+// --- DirectAllocator ---------------------------------------------------
+
+MemoryBlock *
+DirectAllocator::allocate(std::size_t bytes)
+{
+    // Like the historical Storage: always hand out a usable pointer,
+    // even for zero-element tensors, but account the requested size.
+    const std::size_t capacity = std::max(bytes, sizeof(float));
+    auto *block = new MemoryBlock;
+    block->ptr = new char[capacity]();
+    block->size = capacity;
+    block->requested = bytes;
+    block->owner = this;
+    block->segmentHead = true;
+    DeviceManager &dm = DeviceManager::instance();
+    dm.notifyReserve(device_, capacity);
+    dm.notifyAlloc(device_, bytes);
+    return block;
+}
+
+void
+DirectAllocator::release(MemoryBlock *block)
+{
+    gnnperf_assert(block != nullptr && block->owner == this,
+                   "releasing a block to the wrong allocator");
+    DeviceManager &dm = DeviceManager::instance();
+    dm.notifyFree(device_, block->requested);
+    dm.notifyUnreserve(device_, block->size);
+    delete[] block->ptr;
+    delete block;
+}
+
+// --- CachingAllocator --------------------------------------------------
+
+CachingAllocator::~CachingAllocator()
+{
+    // The DeviceManager (and with it this allocator) is intentionally
+    // leaked, so this runs only in ad-hoc standalone use. Free the
+    // fully coalesced segments; nodes of segments that still hold live
+    // blocks must stay intact for those blocks' eventual release.
+    std::vector<MemoryBlock *> whole;
+    for (MemoryBlock *b : free_)
+        if (b->segmentHead && b->prev == nullptr && b->next == nullptr)
+            whole.push_back(b);
+    for (MemoryBlock *b : whole) {
+        free_.erase(b);
+        delete[] b->ptr;
+        delete b;
+    }
+}
+
+std::size_t
+CachingAllocator::roundUp(std::size_t bytes)
+{
+    const std::size_t n = std::max<std::size_t>(bytes, 1);
+    return (n + kQuantum - 1) / kQuantum * kQuantum;
+}
+
+MemoryBlock *
+CachingAllocator::allocate(std::size_t bytes)
+{
+    const std::size_t rounded = roundUp(bytes);
+    DeviceManager &dm = DeviceManager::instance();
+
+    MemoryBlock key;
+    key.size = rounded;
+    auto it = free_.lower_bound(&key); // best fit: smallest size >= rounded
+    MemoryBlock *block = nullptr;
+    if (it != free_.end()) {
+        block = *it;
+        free_.erase(it);
+        dm.notifyCacheHit(device_);
+        if (block->size >= rounded + kQuantum) {
+            // Split: keep `rounded` bytes, return the tail to the pool.
+            auto *rest = new MemoryBlock;
+            rest->ptr = block->ptr + rounded;
+            rest->size = block->size - rounded;
+            rest->owner = this;
+            rest->prev = block;
+            rest->next = block->next;
+            rest->isFree = true;
+            rest->lastUseGen = gen_;
+            if (block->next != nullptr)
+                block->next->prev = rest;
+            block->next = rest;
+            block->size = rounded;
+            free_.insert(rest);
+            dm.notifySplit(device_);
+        }
+    } else {
+        // Pool miss: reserve a fresh segment from the system.
+        dm.notifyCacheMiss(device_);
+        block = new MemoryBlock;
+        block->ptr = new char[rounded]();
+        block->size = rounded;
+        block->owner = this;
+        block->segmentHead = true;
+        dm.notifyReserve(device_, rounded);
+    }
+    block->isFree = false;
+    block->requested = bytes;
+    block->lastUseGen = gen_;
+    dm.notifyAlloc(device_, bytes);
+    return block;
+}
+
+void
+CachingAllocator::mergeWithNext(MemoryBlock *b)
+{
+    MemoryBlock *n = b->next;
+    b->size += n->size;
+    b->next = n->next;
+    if (n->next != nullptr)
+        n->next->prev = b;
+    delete n;
+}
+
+void
+CachingAllocator::release(MemoryBlock *block)
+{
+    gnnperf_assert(block != nullptr && block->owner == this,
+                   "releasing a block to the wrong allocator");
+    gnnperf_assert(!block->isFree, "double free of a cached block");
+    DeviceManager &dm = DeviceManager::instance();
+    dm.notifyFree(device_, block->requested);
+    block->requested = 0;
+    block->isFree = true;
+
+    // Coalesce with free address-neighbours inside the segment.
+    if (block->next != nullptr && block->next->isFree) {
+        free_.erase(block->next);
+        mergeWithNext(block);
+        dm.notifyCoalesce(device_);
+    }
+    if (block->prev != nullptr && block->prev->isFree) {
+        MemoryBlock *prev = block->prev;
+        free_.erase(prev);
+        mergeWithNext(prev);
+        dm.notifyCoalesce(device_);
+        block = prev;
+    }
+    block->lastUseGen = gen_;
+    free_.insert(block);
+}
+
+void
+CachingAllocator::releaseSegments(bool only_stale)
+{
+    DeviceManager &dm = DeviceManager::instance();
+    std::vector<MemoryBlock *> victims;
+    for (MemoryBlock *b : free_) {
+        // A fully coalesced free segment is a lone chain node that
+        // owns its backing array.
+        if (!(b->segmentHead && b->prev == nullptr && b->next == nullptr))
+            continue;
+        if (only_stale && b->lastUseGen >= gen_)
+            continue;
+        victims.push_back(b);
+    }
+    for (MemoryBlock *b : victims) {
+        free_.erase(b);
+        dm.notifyUnreserve(device_, b->size);
+        delete[] b->ptr;
+        delete b;
+    }
+}
+
+void
+CachingAllocator::emptyCache()
+{
+    releaseSegments(/*only_stale=*/false);
+}
+
+void
+CachingAllocator::trim()
+{
+    // A block survives the first trim after its last use and is
+    // dropped by the next one — i.e. cached memory unused for a full
+    // epoch goes back to the system.
+    releaseSegments(/*only_stale=*/true);
+    ++gen_;
+}
+
+std::size_t
+CachingAllocator::cachedBytes() const
+{
+    std::size_t total = 0;
+    for (const MemoryBlock *b : free_)
+        total += b->size;
+    return total;
+}
+
+} // namespace gnnperf

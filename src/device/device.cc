@@ -1,6 +1,9 @@
 #include "device/device.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
+#include "device/allocator.hh"
 #include "obs/stats.hh"
 
 namespace gnnperf {
@@ -9,6 +12,33 @@ const char *
 deviceName(DeviceKind kind)
 {
     return kind == DeviceKind::Host ? "host" : "cuda";
+}
+
+const char *
+allocatorName(AllocatorKind kind)
+{
+    return kind == AllocatorKind::Direct ? "direct" : "caching";
+}
+
+AllocatorKind
+allocatorKindFromName(const std::string &name)
+{
+    if (name == "direct")
+        return AllocatorKind::Direct;
+    if (name == "caching")
+        return AllocatorKind::Caching;
+    gnnperf_fatal("unknown allocator '", name,
+                  "' (expected direct|caching)");
+}
+
+void
+MemoryStats::onAlloc(std::size_t bytes)
+{
+    currentBytes += bytes;
+    totalAllocated += bytes;
+    ++acquireCount;
+    if (currentBytes > peakBytes)
+        peakBytes = currentBytes;
 }
 
 void
@@ -20,24 +50,147 @@ MemoryStats::onFree(std::size_t bytes)
     currentBytes -= bytes;
 }
 
+void
+MemoryStats::onReserve(std::size_t bytes)
+{
+    reservedBytes += bytes;
+    ++allocCount;
+    if (reservedBytes > reservedPeak)
+        reservedPeak = reservedBytes;
+}
+
+void
+MemoryStats::onUnreserve(std::size_t bytes)
+{
+    gnnperf_assert(bytes <= reservedBytes,
+                   "unreserving ", bytes, " bytes but only ",
+                   reservedBytes, " reserved");
+    reservedBytes -= bytes;
+}
+
+void
+MemoryStats::leakCheck(std::size_t baseline_bytes, const char *what) const
+{
+    gnnperf_assert(currentBytes == baseline_bytes,
+                   "memory leak in ", what, ": ", currentBytes,
+                   " live bytes, expected baseline ", baseline_bytes);
+}
+
+DeviceManager::DeviceManager()
+{
+    for (DeviceKind kind : {DeviceKind::Host, DeviceKind::Cuda}) {
+        PerDevice &d = device(kind);
+        d.direct = std::make_unique<DirectAllocator>(kind);
+        d.caching = std::make_unique<CachingAllocator>(kind);
+    }
+    AllocatorKind which = AllocatorKind::Caching;
+    if (const char *env = std::getenv("GNNPERF_ALLOCATOR"))
+        which = allocatorKindFromName(env);
+    setAllocator(which);
+}
+
 DeviceManager &
 DeviceManager::instance()
 {
-    static DeviceManager manager;
-    return manager;
+    // Deliberately leaked: tensors living in static storage release
+    // their blocks after main() returns, and the owning allocator must
+    // still be alive to take them back.
+    static DeviceManager *manager = new DeviceManager;
+    return *manager;
+}
+
+DeviceManager::PerDevice &
+DeviceManager::device(DeviceKind kind)
+{
+    return kind == DeviceKind::Host ? host_ : cuda_;
+}
+
+const DeviceManager::PerDevice &
+DeviceManager::device(DeviceKind kind) const
+{
+    return kind == DeviceKind::Host ? host_ : cuda_;
 }
 
 MemoryStats &
 DeviceManager::stats(DeviceKind kind)
 {
-    return kind == DeviceKind::Host ? host_ : cuda_;
+    return device(kind).stats;
 }
 
 const MemoryStats &
 DeviceManager::stats(DeviceKind kind) const
 {
-    return kind == DeviceKind::Host ? host_ : cuda_;
+    return device(kind).stats;
 }
+
+Allocator &
+DeviceManager::allocator(DeviceKind kind)
+{
+    return *device(kind).active;
+}
+
+void
+DeviceManager::setAllocator(DeviceKind kind, AllocatorKind which)
+{
+    PerDevice &d = device(kind);
+    d.active = which == AllocatorKind::Direct ? d.direct.get()
+                                              : d.caching.get();
+}
+
+void
+DeviceManager::setAllocator(AllocatorKind which)
+{
+    setAllocator(DeviceKind::Host, which);
+    setAllocator(DeviceKind::Cuda, which);
+}
+
+AllocatorKind
+DeviceManager::allocatorKind(DeviceKind kind) const
+{
+    return device(kind).active->kind();
+}
+
+void
+DeviceManager::emptyCaches()
+{
+    for (DeviceKind kind : {DeviceKind::Host, DeviceKind::Cuda}) {
+        device(kind).direct->emptyCache();
+        device(kind).caching->emptyCache();
+    }
+}
+
+void
+DeviceManager::trimCaches()
+{
+    for (DeviceKind kind : {DeviceKind::Host, DeviceKind::Cuda}) {
+        device(kind).direct->trim();
+        device(kind).caching->trim();
+    }
+}
+
+namespace {
+
+/**
+ * Keep the exported gauges in lockstep with the MemoryStats they
+ * mirror. Refreshed on every logical *and* reserve event so that
+ * reserved_peak >= peak_bytes holds at any export point.
+ */
+void
+refreshCudaGauges(const MemoryStats &s)
+{
+    static stats::Gauge &current = stats::gauge("alloc.cuda.current_bytes");
+    static stats::Gauge &peak = stats::gauge("alloc.cuda.peak_bytes");
+    static stats::Gauge &reserved =
+        stats::gauge("alloc.cuda.reserved_bytes");
+    static stats::Gauge &reserved_peak =
+        stats::gauge("alloc.cuda.reserved_peak");
+    current.set(static_cast<double>(s.currentBytes));
+    peak.set(static_cast<double>(s.peakBytes));
+    reserved.set(static_cast<double>(s.reservedBytes));
+    reserved_peak.set(static_cast<double>(s.reservedPeak));
+}
+
+} // namespace
 
 void
 DeviceManager::notifyAlloc(DeviceKind kind, std::size_t bytes)
@@ -47,13 +200,9 @@ DeviceManager::notifyAlloc(DeviceKind kind, std::size_t bytes)
         static stats::Counter &allocs = stats::counter("alloc.cuda.allocs");
         static stats::Counter &alloc_bytes =
             stats::counter("alloc.cuda.alloc_bytes");
-        static stats::Gauge &current =
-            stats::gauge("alloc.cuda.current_bytes");
-        static stats::Gauge &peak = stats::gauge("alloc.cuda.peak_bytes");
         allocs.inc();
         alloc_bytes.inc(bytes);
-        current.set(static_cast<double>(cuda_.currentBytes));
-        peak.set(static_cast<double>(cuda_.peakBytes));
+        refreshCudaGauges(stats(kind));
     } else {
         static stats::Counter &allocs = stats::counter("alloc.host.allocs");
         allocs.inc();
@@ -66,10 +215,71 @@ DeviceManager::notifyFree(DeviceKind kind, std::size_t bytes)
     stats(kind).onFree(bytes);
     if (kind == DeviceKind::Cuda) {
         static stats::Counter &frees = stats::counter("alloc.cuda.frees");
-        static stats::Gauge &current =
-            stats::gauge("alloc.cuda.current_bytes");
         frees.inc();
-        current.set(static_cast<double>(cuda_.currentBytes));
+        refreshCudaGauges(stats(kind));
+    }
+}
+
+void
+DeviceManager::notifyReserve(DeviceKind kind, std::size_t bytes)
+{
+    stats(kind).onReserve(bytes);
+    if (kind == DeviceKind::Cuda) {
+        static stats::Counter &device_allocs =
+            stats::counter("alloc.cuda.device_allocs");
+        device_allocs.inc();
+        refreshCudaGauges(stats(kind));
+    }
+}
+
+void
+DeviceManager::notifyUnreserve(DeviceKind kind, std::size_t bytes)
+{
+    stats(kind).onUnreserve(bytes);
+    if (kind == DeviceKind::Cuda)
+        refreshCudaGauges(stats(kind));
+}
+
+void
+DeviceManager::notifyCacheHit(DeviceKind kind)
+{
+    ++stats(kind).cacheHits;
+    if (kind == DeviceKind::Cuda) {
+        static stats::Counter &hits =
+            stats::counter("alloc.cuda.cache_hits");
+        hits.inc();
+    }
+}
+
+void
+DeviceManager::notifyCacheMiss(DeviceKind kind)
+{
+    ++stats(kind).cacheMisses;
+    if (kind == DeviceKind::Cuda) {
+        static stats::Counter &misses =
+            stats::counter("alloc.cuda.cache_misses");
+        misses.inc();
+    }
+}
+
+void
+DeviceManager::notifySplit(DeviceKind kind)
+{
+    ++stats(kind).splitCount;
+    if (kind == DeviceKind::Cuda) {
+        static stats::Counter &splits = stats::counter("alloc.cuda.splits");
+        splits.inc();
+    }
+}
+
+void
+DeviceManager::notifyCoalesce(DeviceKind kind)
+{
+    ++stats(kind).coalesceCount;
+    if (kind == DeviceKind::Cuda) {
+        static stats::Counter &coalesces =
+            stats::counter("alloc.cuda.coalesces");
+        coalesces.inc();
     }
 }
 

@@ -1,11 +1,19 @@
 /**
  * @file
- * Simulated device memory accounting.
+ * Simulated device memory accounting with dual (logical vs reserved)
+ * bookkeeping.
  *
- * Tensor storage declares a DeviceKind; allocations/frees on the Cuda
- * device flow through DeviceManager so that peak memory usage — the
- * quantity the paper reads from nvidia-smi (Fig. 4) — is tracked
- * byte-accurately for the *real* tensors the workload materialises.
+ * Tensor storage declares a DeviceKind; blocks are acquired from the
+ * device's active Allocator (device/allocator.hh), which reports two
+ * parallel account lines to the DeviceManager:
+ *
+ *  - logical bytes — the live tensor bytes the workload materialises.
+ *    This is the faithful Fig. 4 number and is byte-identical under
+ *    every allocator.
+ *  - reserved bytes — the backing capacity the allocator holds from
+ *    the system (the pool). This is what nvidia-smi — the paper's
+ *    measurement tool — actually reports, and under the caching
+ *    allocator it exceeds the logical line.
  *
  * The library is single-threaded by design (the paper's workloads are
  * dispatch-serialised too), so no synchronisation is needed here.
@@ -16,6 +24,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 
 namespace gnnperf {
 
@@ -25,32 +35,67 @@ enum class DeviceKind : uint8_t { Host, Cuda };
 /** Human-readable device name. */
 const char *deviceName(DeviceKind kind);
 
+/** Which allocator implementation backs a device. */
+enum class AllocatorKind : uint8_t { Direct, Caching };
+
+/** "direct" / "caching". */
+const char *allocatorName(AllocatorKind kind);
+
+/** Parse an allocator name (fatal on anything else). */
+AllocatorKind allocatorKindFromName(const std::string &name);
+
+class Allocator;
+
 /** Allocation statistics for one device. */
 struct MemoryStats
 {
+    // Logical (live-tensor) accounting — the faithful Fig. 4 line.
     std::size_t currentBytes = 0;   ///< live bytes right now
     std::size_t peakBytes = 0;      ///< high-water mark since reset
-    std::size_t totalAllocated = 0; ///< cumulative bytes ever allocated
-    std::size_t allocCount = 0;     ///< number of allocations
+    std::size_t totalAllocated = 0; ///< cumulative bytes ever acquired
+    std::size_t acquireCount = 0;   ///< number of block acquisitions
 
+    // Reserved (pool) accounting — the nvidia-smi-like line.
+    std::size_t reservedBytes = 0;  ///< backing bytes held right now
+    std::size_t reservedPeak = 0;   ///< high-water mark since reset
+    std::size_t allocCount = 0;     ///< backing (device) allocations
+
+    // Cache behaviour (caching allocator only).
+    std::size_t cacheHits = 0;
+    std::size_t cacheMisses = 0;
+    std::size_t splitCount = 0;
+    std::size_t coalesceCount = 0;
+
+    void onAlloc(std::size_t bytes);
+    void onFree(std::size_t bytes);
+    void onReserve(std::size_t bytes);
+    void onUnreserve(std::size_t bytes);
+
+    /** Reset both high-water marks to the current levels. */
     void
-    onAlloc(std::size_t bytes)
+    resetPeak()
     {
-        currentBytes += bytes;
-        totalAllocated += bytes;
-        ++allocCount;
-        if (currentBytes > peakBytes)
-            peakBytes = currentBytes;
+        peakBytes = currentBytes;
+        reservedPeak = reservedBytes;
     }
 
-    void onFree(std::size_t bytes);
-
-    /** Reset the high-water mark to the current live size. */
-    void resetPeak() { peakBytes = currentBytes; }
+    /**
+     * Assert the logical live size returned to a captured baseline —
+     * the leak check for scoped workloads:
+     *
+     *     const std::size_t base = dm.stats(kind).currentBytes;
+     *     { ... workload ... }
+     *     dm.stats(kind).leakCheck(base, "workload");
+     */
+    void leakCheck(std::size_t baseline_bytes,
+                   const char *what = "scope") const;
 };
 
 /**
- * Process-wide registry of per-device memory statistics.
+ * Process-wide registry of per-device memory statistics and the
+ * per-device active allocator. The instance is intentionally leaked so
+ * that storage blocks released during static destruction always find
+ * their allocator alive.
  */
 class DeviceManager
 {
@@ -62,22 +107,91 @@ class DeviceManager
     MemoryStats &stats(DeviceKind kind);
     const MemoryStats &stats(DeviceKind kind) const;
 
-    /** Record an allocation / free. */
+    /** The device's active allocator (Storage acquires through it). */
+    Allocator &allocator(DeviceKind kind);
+
+    /**
+     * Select the allocator implementation for one device (or both).
+     * Blocks already handed out keep their owning allocator, so
+     * switching mid-run is safe. The process default is the caching
+     * allocator; GNNPERF_ALLOCATOR=direct|caching overrides it.
+     */
+    void setAllocator(DeviceKind kind, AllocatorKind which);
+    void setAllocator(AllocatorKind which);
+    AllocatorKind allocatorKind(DeviceKind kind) const;
+
+    /** Return every cached pool byte to the system (both devices). */
+    void emptyCaches();
+
+    /** Epoch boundary: drop cached blocks unused for a full epoch. */
+    void trimCaches();
+
+    // --- notifications, called by the allocators ---
+
+    /** Logical (live-tensor) acquire / release. */
     void notifyAlloc(DeviceKind kind, std::size_t bytes);
     void notifyFree(DeviceKind kind, std::size_t bytes);
 
-    /** Reset the Cuda peak (e.g. before measuring one configuration). */
-    void resetCudaPeak() { cuda_.resetPeak(); }
+    /** Backing (pool) allocation / return-to-system. */
+    void notifyReserve(DeviceKind kind, std::size_t bytes);
+    void notifyUnreserve(DeviceKind kind, std::size_t bytes);
 
-    /** Convenience: current / peak Cuda bytes. */
-    std::size_t cudaCurrent() const { return cuda_.currentBytes; }
-    std::size_t cudaPeak() const { return cuda_.peakBytes; }
+    /** Cache behaviour (caching allocator). */
+    void notifyCacheHit(DeviceKind kind);
+    void notifyCacheMiss(DeviceKind kind);
+    void notifySplit(DeviceKind kind);
+    void notifyCoalesce(DeviceKind kind);
+
+    // --- device-parametric peak queries ---
+
+    /** Reset a device's logical + reserved high-water marks. */
+    void resetPeak(DeviceKind kind) { stats(kind).resetPeak(); }
+
+    std::size_t
+    current(DeviceKind kind) const
+    {
+        return stats(kind).currentBytes;
+    }
+
+    std::size_t peak(DeviceKind kind) const
+    {
+        return stats(kind).peakBytes;
+    }
+
+    std::size_t
+    reserved(DeviceKind kind) const
+    {
+        return stats(kind).reservedBytes;
+    }
+
+    std::size_t
+    reservedPeak(DeviceKind kind) const
+    {
+        return stats(kind).reservedPeak;
+    }
+
+    // --- legacy conveniences (prefer the device-parametric forms) ---
+
+    void resetCudaPeak() { resetPeak(DeviceKind::Cuda); }
+    std::size_t cudaCurrent() const { return current(DeviceKind::Cuda); }
+    std::size_t cudaPeak() const { return peak(DeviceKind::Cuda); }
 
   private:
-    DeviceManager() = default;
+    DeviceManager();
 
-    MemoryStats host_;
-    MemoryStats cuda_;
+    struct PerDevice
+    {
+        MemoryStats stats;
+        std::unique_ptr<Allocator> direct;
+        std::unique_ptr<Allocator> caching;
+        Allocator *active = nullptr;
+    };
+
+    PerDevice &device(DeviceKind kind);
+    const PerDevice &device(DeviceKind kind) const;
+
+    PerDevice host_;
+    PerDevice cuda_;
 };
 
 } // namespace gnnperf

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "graph/workspace.hh"
 
 namespace gnnperf {
 namespace graphops {
@@ -21,8 +22,12 @@ edgeSoftmaxFused(const CsrIndex &in_index, const Tensor &logits)
     Tensor alpha(logits.shape(), logits.device());
     const float *pl = logits.data();
     float *pa = alpha.data();
-    std::vector<float> mx(static_cast<std::size_t>(h));
-    std::vector<float> denom(static_cast<std::size_t>(h));
+    // Per-head maxima and denominators live in one pooled scratch
+    // block instead of two per-call vectors.
+    static Workspace scratch;
+    float *mx = scratch.ensure(static_cast<std::size_t>(2 * h),
+                               logits.device());
+    float *denom = mx + h;
     for (int64_t v = 0; v < in_index.numNodes(); ++v) {
         const int64_t begin = in_index.ptr[v], end = in_index.ptr[v + 1];
         if (begin == end)
@@ -73,7 +78,9 @@ edgeSoftmaxBackwardFused(const CsrIndex &in_index, const Tensor &alpha,
     const float *pa = alpha.data();
     const float *pg = grad.data();
     float *po = out.data();
-    std::vector<float> acc(static_cast<std::size_t>(h));
+    static Workspace scratch;
+    float *acc =
+        scratch.ensure(static_cast<std::size_t>(h), alpha.device());
     for (int64_t v = 0; v < in_index.numNodes(); ++v) {
         const int64_t begin = in_index.ptr[v], end = in_index.ptr[v + 1];
         if (begin == end)

@@ -1,0 +1,44 @@
+#include "graph/workspace.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "device/allocator.hh"
+
+namespace gnnperf {
+
+Workspace::Workspace(DeviceKind device) : device_(device) {}
+
+Workspace::~Workspace()
+{
+    releaseBlock();
+}
+
+void
+Workspace::releaseBlock()
+{
+    if (block_ != nullptr) {
+        block_->owner->release(block_);
+        block_ = nullptr;
+        capacity_ = 0;
+    }
+}
+
+float *
+Workspace::ensure(std::size_t count, DeviceKind device)
+{
+    if (block_ == nullptr || capacity_ < count || device != device_) {
+        releaseBlock();
+        device_ = device;
+        const std::size_t grow = std::max(count, capacity_ * 2);
+        block_ = DeviceManager::instance()
+                     .allocator(device_)
+                     .allocate(grow * sizeof(float));
+        capacity_ = grow;
+    }
+    float *p = block_->floats();
+    std::memset(p, 0, count * sizeof(float));
+    return p;
+}
+
+} // namespace gnnperf

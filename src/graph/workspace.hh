@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reusable scratch workspaces for graph kernels.
+ *
+ * Graph kernels need small per-node scratch buffers (softmax maxima,
+ * denominators, accumulators). Materialising a std::vector per call
+ * pays malloc on every kernel launch; a Workspace instead acquires a
+ * block from the device's active allocator and grows it geometrically,
+ * so repeated launches with the same shapes hit the allocator cache
+ * (or, for a long-lived workspace, reuse the very same block).
+ */
+
+#ifndef GNNPERF_GRAPH_WORKSPACE_HH
+#define GNNPERF_GRAPH_WORKSPACE_HH
+
+#include <cstddef>
+
+#include "device/device.hh"
+
+namespace gnnperf {
+
+struct MemoryBlock;
+
+/** A float scratch buffer leased from a device allocator. */
+class Workspace
+{
+  public:
+    explicit Workspace(DeviceKind device = DeviceKind::Cuda);
+    ~Workspace();
+
+    Workspace(const Workspace &) = delete;
+    Workspace &operator=(const Workspace &) = delete;
+
+    /**
+     * A buffer holding at least `count` floats on `device`, zeroed up
+     * to `count`. Grows geometrically; the pointer is stable until the
+     * next ensure() call.
+     */
+    float *ensure(std::size_t count, DeviceKind device);
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    void releaseBlock();
+
+    MemoryBlock *block_ = nullptr;
+    std::size_t capacity_ = 0; ///< floats
+    DeviceKind device_;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_GRAPH_WORKSPACE_HH

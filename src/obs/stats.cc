@@ -113,6 +113,15 @@ constexpr CoreMetric kCoreMetrics[] = {
     {"alloc.cuda.alloc_bytes", MetricType::Counter},
     {"alloc.cuda.current_bytes", MetricType::Gauge},
     {"alloc.cuda.peak_bytes", MetricType::Gauge},
+    // Pool (reserved) line: named reserved_peak, not *_peak_bytes, so
+    // substring filters on the logical peak_bytes don't catch it.
+    {"alloc.cuda.reserved_bytes", MetricType::Gauge},
+    {"alloc.cuda.reserved_peak", MetricType::Gauge},
+    {"alloc.cuda.device_allocs", MetricType::Counter},
+    {"alloc.cuda.cache_hits", MetricType::Counter},
+    {"alloc.cuda.cache_misses", MetricType::Counter},
+    {"alloc.cuda.splits", MetricType::Counter},
+    {"alloc.cuda.coalesces", MetricType::Counter},
     {"alloc.host.allocs", MetricType::Counter},
     {"trainer.epochs", MetricType::Counter},
     {"trainer.evals", MetricType::Counter},

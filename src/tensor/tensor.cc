@@ -5,22 +5,23 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "device/allocator.hh"
 #include "device/profiler.hh"
 
 namespace gnnperf {
 
 Storage::Storage(std::size_t numel, DeviceKind device)
-    : data_(new float[std::max<std::size_t>(numel, 1)]),
+    : block_(DeviceManager::instance().allocator(device).allocate(
+          numel * sizeof(float))),
+      data_(block_->floats()),
       numel_(numel),
       device_(device)
 {
-    DeviceManager::instance().notifyAlloc(device_,
-                                          numel_ * sizeof(float));
 }
 
 Storage::~Storage()
 {
-    DeviceManager::instance().notifyFree(device_, numel_ * sizeof(float));
+    block_->owner->release(block_);
 }
 
 namespace {

@@ -5,8 +5,9 @@
  * Tensors are row-major, contiguous, rank 1 or 2 (the GNN workloads in
  * the paper need nothing higher: multi-head attention is laid out as
  * [N, heads*feat]). Storage is reference counted; clones deep-copy.
- * Allocation and deallocation are reported to the DeviceManager so that
- * peak "GPU" memory (paper Fig. 4) is tracked exactly.
+ * Storage acquires its block from the device's active Allocator
+ * (device/allocator.hh), which accounts logical live bytes (paper
+ * Fig. 4) and reserved pool bytes to the DeviceManager.
  */
 
 #ifndef GNNPERF_TENSOR_TENSOR_HH
@@ -21,7 +22,9 @@
 
 namespace gnnperf {
 
-/** Reference-counted, device-accounted flat float buffer. */
+struct MemoryBlock;
+
+/** Reference-counted flat float buffer on an allocator block. */
 class Storage
 {
   public:
@@ -31,13 +34,17 @@ class Storage
     Storage(const Storage &) = delete;
     Storage &operator=(const Storage &) = delete;
 
-    float *data() { return data_.get(); }
-    const float *data() const { return data_.get(); }
+    float *data() { return data_; }
+    const float *data() const { return data_; }
     std::size_t numel() const { return numel_; }
     DeviceKind device() const { return device_; }
 
+    /** The backing allocator block (for aliasing tests/diagnostics). */
+    const MemoryBlock *block() const { return block_; }
+
   private:
-    std::unique_ptr<float[]> data_;
+    MemoryBlock *block_;
+    float *data_;
     std::size_t numel_;
     DeviceKind device_;
 };

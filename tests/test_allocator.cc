@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Allocator-layer tests: direct vs caching accounting, the pool's
+ * reuse/split/coalesce behaviour, emptyCache/trim semantics, and the
+ * allocator-invariance of the logical (Fig. 4) numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/allocator.hh"
+#include "device/device.hh"
+#include "tensor/tensor.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+/** Restore the process-wide allocator selection at scope exit. */
+class AllocatorGuard
+{
+  public:
+    AllocatorGuard()
+        : saved_(DeviceManager::instance().allocatorKind(
+              DeviceKind::Cuda))
+    {}
+    ~AllocatorGuard() { DeviceManager::instance().setAllocator(saved_); }
+
+  private:
+    AllocatorKind saved_;
+};
+
+MemoryStats &
+cudaStats()
+{
+    return DeviceManager::instance().stats(DeviceKind::Cuda);
+}
+
+} // namespace
+
+TEST(DirectAllocator, ReservedEqualsLiveAndEveryAcquireHitsDevice)
+{
+    DirectAllocator alloc(DeviceKind::Cuda);
+    MemoryStats &s = cudaStats();
+    const std::size_t live0 = s.currentBytes;
+    const std::size_t reserved0 = s.reservedBytes;
+    const std::size_t backing0 = s.allocCount;
+
+    MemoryBlock *a = alloc.allocate(1000);
+    MemoryBlock *b = alloc.allocate(2000);
+    EXPECT_EQ(s.currentBytes, live0 + 3000);
+    EXPECT_EQ(s.reservedBytes, reserved0 + 3000);
+    EXPECT_EQ(s.allocCount, backing0 + 2);
+    alloc.release(a);
+    alloc.release(b);
+    EXPECT_EQ(s.currentBytes, live0);
+    EXPECT_EQ(s.reservedBytes, reserved0);
+}
+
+TEST(DirectAllocator, ZeroByteBlockIsUsable)
+{
+    DirectAllocator alloc(DeviceKind::Cuda);
+    MemoryBlock *b = alloc.allocate(0);
+    ASSERT_NE(b->ptr, nullptr);
+    b->floats()[0] = 1.0f; // capacity is at least one float
+    alloc.release(b);
+}
+
+TEST(CachingAllocator, ReleasedBlockIsReused)
+{
+    CachingAllocator alloc(DeviceKind::Cuda);
+    MemoryStats &s = cudaStats();
+    const std::size_t hits0 = s.cacheHits;
+    const std::size_t backing0 = s.allocCount;
+
+    MemoryBlock *a = alloc.allocate(1000);
+    char *ptr = a->ptr;
+    alloc.release(a);
+    MemoryBlock *b = alloc.allocate(1000);
+    EXPECT_EQ(b->ptr, ptr);
+    EXPECT_EQ(s.cacheHits, hits0 + 1);
+    EXPECT_EQ(s.allocCount, backing0 + 1); // one backing alloc total
+    alloc.release(b);
+    alloc.emptyCache();
+}
+
+TEST(CachingAllocator, RoundsToQuantumAndKeepsReservedAboveLogical)
+{
+    CachingAllocator alloc(DeviceKind::Cuda);
+    MemoryStats &s = cudaStats();
+    const std::size_t live0 = s.currentBytes;
+    const std::size_t reserved0 = s.reservedBytes;
+
+    MemoryBlock *a = alloc.allocate(10);
+    EXPECT_EQ(a->size, CachingAllocator::kQuantum);
+    EXPECT_EQ(s.currentBytes, live0 + 10);
+    EXPECT_EQ(s.reservedBytes,
+              reserved0 + CachingAllocator::kQuantum);
+    EXPECT_GE(s.reservedBytes - reserved0, s.currentBytes - live0);
+    alloc.release(a);
+    alloc.emptyCache();
+}
+
+TEST(CachingAllocator, SplitsLargeCachedBlock)
+{
+    CachingAllocator alloc(DeviceKind::Cuda);
+    MemoryStats &s = cudaStats();
+
+    MemoryBlock *big = alloc.allocate(4096);
+    char *base = big->ptr;
+    alloc.release(big);
+    EXPECT_EQ(alloc.cachedBytes(), 4096u);
+
+    const std::size_t splits0 = s.splitCount;
+    const std::size_t backing0 = s.allocCount;
+    MemoryBlock *small1 = alloc.allocate(512);
+    MemoryBlock *small2 = alloc.allocate(512);
+    EXPECT_EQ(small1->ptr, base);
+    EXPECT_EQ(small2->ptr, base + 512);
+    EXPECT_EQ(s.splitCount, splits0 + 2);
+    EXPECT_EQ(s.allocCount, backing0); // no new backing allocation
+    EXPECT_EQ(alloc.cachedBytes(), 4096u - 1024u);
+
+    alloc.release(small1);
+    alloc.release(small2);
+    alloc.emptyCache();
+}
+
+TEST(CachingAllocator, CoalescesFreedNeighboursBackToOneSegment)
+{
+    CachingAllocator alloc(DeviceKind::Cuda);
+    MemoryStats &s = cudaStats();
+
+    MemoryBlock *big = alloc.allocate(2048);
+    alloc.release(big);
+    MemoryBlock *a = alloc.allocate(512);
+    MemoryBlock *b = alloc.allocate(512);
+    MemoryBlock *c = alloc.allocate(512);
+    // 2048 segment now holds a|b|c|512-free.
+
+    const std::size_t coalesce0 = s.coalesceCount;
+    alloc.release(a);
+    alloc.release(c); // merges with the trailing free slice
+    alloc.release(b); // bridges a and c -> one 2048 block again
+    EXPECT_GE(s.coalesceCount, coalesce0 + 3);
+    EXPECT_EQ(alloc.cachedBytes(), 2048u);
+
+    // The recombined segment satisfies a full-size request again.
+    const std::size_t backing0 = s.allocCount;
+    MemoryBlock *again = alloc.allocate(2048);
+    EXPECT_EQ(s.allocCount, backing0);
+    alloc.release(again);
+    alloc.emptyCache();
+}
+
+TEST(CachingAllocator, EmptyCacheReturnsReservedBytes)
+{
+    MemoryStats &s = cudaStats();
+    const std::size_t reserved0 = s.reservedBytes;
+    CachingAllocator alloc(DeviceKind::Cuda);
+    MemoryBlock *a = alloc.allocate(8192);
+    alloc.release(a);
+    EXPECT_GT(s.reservedBytes, reserved0);
+    alloc.emptyCache();
+    EXPECT_EQ(s.reservedBytes, reserved0);
+    EXPECT_EQ(alloc.cachedBytes(), 0u);
+}
+
+TEST(CachingAllocator, TrimDropsBlocksUnusedForAFullGeneration)
+{
+    CachingAllocator alloc(DeviceKind::Cuda);
+    MemoryBlock *a = alloc.allocate(1024);
+    alloc.release(a);
+
+    // A block survives the first trim after its last use...
+    alloc.trim();
+    EXPECT_EQ(alloc.cachedBytes(), 1024u);
+    // ...and is dropped by the next one if it stayed unused.
+    alloc.trim();
+    EXPECT_EQ(alloc.cachedBytes(), 0u);
+}
+
+TEST(CachingAllocator, TrimKeepsRecentlyReusedBlocks)
+{
+    CachingAllocator alloc(DeviceKind::Cuda);
+    MemoryBlock *a = alloc.allocate(1024);
+    alloc.release(a);
+    alloc.trim();
+    // Reuse refreshes the generation: the block survives another trim.
+    MemoryBlock *b = alloc.allocate(1024);
+    alloc.release(b);
+    alloc.trim();
+    EXPECT_EQ(alloc.cachedBytes(), 1024u);
+    alloc.emptyCache();
+}
+
+namespace {
+
+/** A tensor-churn workload with a distinctive logical footprint. */
+void
+churnTensors()
+{
+    Tensor a({64, 32});
+    for (int i = 0; i < 8; ++i) {
+        Tensor t({128, 16});
+        Tensor u({33, 7});
+        t.fill(1.0f);
+        u.fill(2.0f);
+    }
+    Tensor b = a.clone();
+    b.fill(0.5f);
+}
+
+} // namespace
+
+TEST(AllocatorInvariance, LogicalPeakIsIdenticalUnderBothAllocators)
+{
+    AllocatorGuard guard;
+    DeviceManager &dm = DeviceManager::instance();
+    std::size_t peaks[2];
+    std::size_t lives[2];
+    int i = 0;
+    for (AllocatorKind kind :
+         {AllocatorKind::Direct, AllocatorKind::Caching}) {
+        dm.setAllocator(kind);
+        dm.emptyCaches();
+        const std::size_t live0 = dm.current(DeviceKind::Cuda);
+        dm.resetPeak(DeviceKind::Cuda);
+        churnTensors();
+        peaks[i] = dm.peak(DeviceKind::Cuda) - live0;
+        lives[i] = dm.current(DeviceKind::Cuda) - live0;
+        ++i;
+    }
+    EXPECT_EQ(peaks[0], peaks[1]);
+    EXPECT_EQ(lives[0], 0u);
+    EXPECT_EQ(lives[1], 0u);
+}
+
+TEST(AllocatorInvariance, CachingCutsDeviceAllocations)
+{
+    AllocatorGuard guard;
+    DeviceManager &dm = DeviceManager::instance();
+    MemoryStats &s = cudaStats();
+    std::size_t backing[2];
+    int i = 0;
+    for (AllocatorKind kind :
+         {AllocatorKind::Direct, AllocatorKind::Caching}) {
+        dm.setAllocator(kind);
+        dm.emptyCaches();
+        const std::size_t backing0 = s.allocCount;
+        for (int rep = 0; rep < 4; ++rep)
+            churnTensors();
+        backing[i++] = s.allocCount - backing0;
+    }
+    EXPECT_LT(backing[1] * 2, backing[0]); // >= 50% fewer
+    dm.emptyCaches();
+}
+
+TEST(AllocatorInvariance, ReservedPeakNeverBelowLogicalPeak)
+{
+    AllocatorGuard guard;
+    DeviceManager &dm = DeviceManager::instance();
+    for (AllocatorKind kind :
+         {AllocatorKind::Direct, AllocatorKind::Caching}) {
+        dm.setAllocator(kind);
+        dm.emptyCaches();
+        dm.resetPeak(DeviceKind::Cuda);
+        churnTensors();
+        EXPECT_GE(dm.reservedPeak(DeviceKind::Cuda),
+                  dm.peak(DeviceKind::Cuda))
+            << "allocator: " << allocatorName(kind);
+    }
+    dm.emptyCaches();
+}
+
+TEST(AllocatorInvariance, LeakCheckAcrossWorkload)
+{
+    AllocatorGuard guard;
+    DeviceManager &dm = DeviceManager::instance();
+    dm.setAllocator(AllocatorKind::Caching);
+    const std::size_t base = cudaStats().currentBytes;
+    churnTensors();
+    cudaStats().leakCheck(base, "churnTensors");
+    dm.emptyCaches();
+}

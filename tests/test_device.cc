@@ -80,8 +80,54 @@ TEST(MemoryStats, AllocFreeAndPeak)
     EXPECT_EQ(stats.peakBytes, 150u);
     stats.resetPeak();
     EXPECT_EQ(stats.peakBytes, 50u);
-    EXPECT_EQ(stats.allocCount, 2u);
+    EXPECT_EQ(stats.acquireCount, 2u);
     EXPECT_EQ(stats.totalAllocated, 150u);
+    // Logical events do not touch the reserved (pool) line.
+    EXPECT_EQ(stats.reservedBytes, 0u);
+    EXPECT_EQ(stats.allocCount, 0u);
+}
+
+TEST(MemoryStats, ReserveTracksPoolHighWater)
+{
+    MemoryStats stats;
+    stats.onReserve(1024);
+    stats.onReserve(512);
+    EXPECT_EQ(stats.reservedBytes, 1536u);
+    EXPECT_EQ(stats.reservedPeak, 1536u);
+    EXPECT_EQ(stats.allocCount, 2u);
+    stats.onUnreserve(1024);
+    EXPECT_EQ(stats.reservedBytes, 512u);
+    EXPECT_EQ(stats.reservedPeak, 1536u);
+    stats.resetPeak();
+    EXPECT_EQ(stats.reservedPeak, 512u);
+    // Reserved events do not touch the logical line.
+    EXPECT_EQ(stats.currentBytes, 0u);
+    EXPECT_EQ(stats.acquireCount, 0u);
+}
+
+TEST(MemoryStats, LeakCheckPassesAtBaseline)
+{
+    MemoryStats stats;
+    stats.onAlloc(64);
+    const std::size_t base = stats.currentBytes;
+    stats.onAlloc(32);
+    stats.onFree(32);
+    stats.leakCheck(base, "test scope");
+    stats.onFree(64);
+    stats.leakCheck(0, "test scope");
+}
+
+TEST(DeviceManager, HostPeakResets)
+{
+    auto &dm = DeviceManager::instance();
+    const std::size_t before = dm.current(DeviceKind::Host);
+    dm.notifyAlloc(DeviceKind::Host, 1000);
+    EXPECT_GE(dm.peak(DeviceKind::Host), before + 1000);
+    dm.notifyFree(DeviceKind::Host, 1000);
+    // resetCudaPeak() historically could not touch the Host peak; the
+    // device-parametric form can.
+    dm.resetPeak(DeviceKind::Host);
+    EXPECT_EQ(dm.peak(DeviceKind::Host), dm.current(DeviceKind::Host));
 }
 
 TEST(DeviceManager, SeparatesDevices)

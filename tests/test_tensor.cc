@@ -9,6 +9,7 @@
 
 #include <cmath>
 
+#include "device/allocator.hh"
 #include "device/device.hh"
 #include "tensor/ops.hh"
 #include "tensor/tensor.hh"
@@ -93,6 +94,79 @@ TEST(Tensor, PeakTracksHighWater)
         EXPECT_GE(dm.cudaPeak(), base + 8000);
     }
     EXPECT_GE(dm.cudaPeak(), base + 8000);  // peak survives frees
+}
+
+namespace {
+
+/** Switch both devices to `kind` for one test, then restore. */
+class AllocatorGuard
+{
+  public:
+    explicit AllocatorGuard(AllocatorKind kind)
+        : saved_(DeviceManager::instance().allocatorKind(
+              DeviceKind::Cuda))
+    {
+        DeviceManager::instance().setAllocator(kind);
+    }
+    ~AllocatorGuard() { DeviceManager::instance().setAllocator(saved_); }
+
+  private:
+    AllocatorKind saved_;
+};
+
+} // namespace
+
+TEST(TensorAliasing, CloneAllocatesFreshBlock)
+{
+    AllocatorGuard guard(AllocatorKind::Caching);
+    Tensor a = Tensor::ones({16, 16});
+    Tensor b = a.clone();
+    EXPECT_NE(a.data(), b.data());
+}
+
+TEST(TensorAliasing, ReshapeSharesBlock)
+{
+    AllocatorGuard guard(AllocatorKind::Caching);
+    Tensor a = Tensor::ones({4, 4});
+    Tensor v = a.reshape({16});
+    EXPECT_EQ(a.data(), v.data());
+}
+
+TEST(TensorAliasing, DyingViewDoesNotReturnLiveBlockToPool)
+{
+    AllocatorGuard guard(AllocatorKind::Caching);
+    auto &dm = DeviceManager::instance();
+    dm.emptyCaches();
+    Tensor a = Tensor::ones({64, 64});
+    {
+        Tensor view = a.reshape({4096});
+        EXPECT_EQ(view.data(), a.data());
+    }
+    // The view died but `a` still holds the storage: a same-size
+    // allocation must come from fresh memory, not a's block.
+    Tensor c({64, 64});
+    EXPECT_NE(c.data(), a.data());
+    EXPECT_EQ(a.at(0), 1.0f); // a's contents untouched
+}
+
+TEST(TensorAliasing, BlockReturnsToPoolOnlyAfterLastAliasDies)
+{
+    AllocatorGuard guard(AllocatorKind::Caching);
+    auto &dm = DeviceManager::instance();
+    dm.emptyCaches();
+    const std::size_t hits0 =
+        dm.stats(DeviceKind::Cuda).cacheHits;
+    const float *old_ptr = nullptr;
+    {
+        Tensor a = Tensor::ones({32, 32});
+        Tensor view = a.reshape({1024});
+        old_ptr = a.data();
+    }
+    // Both aliases are gone: the block is back in the pool and a
+    // same-size allocation reuses it.
+    Tensor b({32, 32});
+    EXPECT_EQ(b.data(), old_ptr);
+    EXPECT_GT(dm.stats(DeviceKind::Cuda).cacheHits, hits0);
 }
 
 TEST(Tensor, HostNotCountedAsCuda)
