@@ -18,6 +18,7 @@
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "obs/diff.hh"
+#include "obs/exec_trace.hh"
 #include "obs/stats.hh"
 
 namespace gnnperf {
@@ -41,6 +42,12 @@ banner(const char *what, const char *paper_ref)
  * sampling on for the process, and at scope exit the registry's JSON /
  * CSV / event-log artifacts land in GNNPERF_CSV_DIR (when set) under
  * the given prefix. Declare one at the top of main().
+ *
+ * GNNPERF_TRACE additionally records the merged execution trace
+ * (obs/exec_trace.hh): GNNPERF_TRACE=FILE writes it to FILE at scope
+ * exit; GNNPERF_TRACE=1 writes `<prefix>.trace.json` into
+ * GNNPERF_CSV_DIR next to the stats artifacts (no-op when the dir is
+ * unset).
  */
 class StatsScope
 {
@@ -49,12 +56,30 @@ class StatsScope
     {
         if (envInt("GNNPERF_STATS", 0) != 0)
             stats::setSamplingEnabled(true);
+        tracePath_ = envString("GNNPERF_TRACE", "");
+        if (tracePath_ == "1") {
+            const std::string dir = envString("GNNPERF_CSV_DIR", "");
+            tracePath_ =
+                dir.empty() ? "" : dir + "/" + prefix_ + ".trace.json";
+        }
+        if (!tracePath_.empty())
+            ExecTrace::instance().enable();
     }
 
-    ~StatsScope() { maybeWriteStatsArtifacts(prefix_); }
+    ~StatsScope()
+    {
+        if (!tracePath_.empty()) {
+            ExecTrace &trace = ExecTrace::instance();
+            trace.disable();
+            trace.writeTo(tracePath_);
+            std::printf("wrote %s\n", tracePath_.c_str());
+        }
+        maybeWriteStatsArtifacts(prefix_);
+    }
 
   private:
     std::string prefix_;
+    std::string tracePath_;
 };
 
 /**

@@ -12,6 +12,7 @@
  *                  [--allocator direct|caching]
  *                  [--stats-out FILE] [--events-out FILE]
  *                  [--roofline-out FILE] [--bench-out FILE]
+ *                  [--trace-out FILE]
  *
  * Both frameworks are always run and compared side by side, as in the
  * paper's tables. Flags accept both `--key value` and `--key=value`.
@@ -34,6 +35,13 @@
  * stats counters, as the flat JSON `gnnperf_diff` compares. Turns
  * stats sampling on.
  *
+ * --trace-out writes the merged execution trace (obs/exec_trace.hh):
+ * simulated host/GPU tracks, real wall-clock host spans and the
+ * per-device memory timeline in one Chrome/Perfetto JSON, and prints
+ * the cuda peak-attribution table. GNNPERF_TRACE=FILE is the env
+ * equivalent (the flag wins when both are set). Inspect or merge the
+ * files with tools/gnnperf_trace.
+ *
  * Examples:
  *   run_experiment --task node --model GAT --dataset cora --epochs 100
  *   run_experiment --task graph --model GatedGCN --dataset enzymes \
@@ -50,6 +58,7 @@
 #include <map>
 #include <string>
 
+#include "common/fs.hh"
 #include "common/logging.hh"
 #include "common/string_utils.hh"
 #include "core/experiment.hh"
@@ -57,6 +66,7 @@
 #include "device/device.hh"
 #include "device/trace_export.hh"
 #include "obs/diff.hh"
+#include "obs/exec_trace.hh"
 #include "obs/roofline.hh"
 #include "obs/stats.hh"
 #include "obs/stats_export.hh"
@@ -167,6 +177,31 @@ writeBenchOutput(const std::string &path, const std::string &bench_name,
     std::printf("wrote %s\n", path.c_str());
 }
 
+/** --trace-out FILE, falling back to GNNPERF_TRACE=FILE. */
+std::string
+tracePath(const std::map<std::string, std::string> &args)
+{
+    std::string path = get(args, "trace-out", "");
+    if (path.empty()) {
+        if (const char *env = std::getenv("GNNPERF_TRACE"))
+            path = env;
+    }
+    return path;
+}
+
+/** Print the peak-attribution table and write the merged trace. */
+void
+writeTraceOutput(const std::string &path)
+{
+    if (path.empty())
+        return;
+    ExecTrace &trace = ExecTrace::instance();
+    trace.disable();
+    std::printf("%s\n", trace.peakTable(DeviceKind::Cuda).c_str());
+    trace.writeTo(path);
+    std::printf("wrote %s\n", path.c_str());
+}
+
 } // namespace
 
 int
@@ -189,6 +224,11 @@ main(int argc, char **argv)
     if (args.count("stats-out") > 0 || args.count("events-out") > 0 ||
         !bench_path.empty())
         stats::setSamplingEnabled(true);
+    // Enable before dataset construction so the memory timeline covers
+    // the dataset's allocations too.
+    const std::string trace_path = tracePath(args);
+    if (!trace_path.empty())
+        ExecTrace::instance().enable();
 
     if (task == "node") {
         NodeDataset ds;
@@ -225,6 +265,7 @@ main(int argc, char **argv)
                 roofline_path,
                 runNodeRoofline(ds, {model}, epochs, /*seed=*/1000));
         }
+        writeTraceOutput(trace_path);
         writeStatsOutputs(args);
         return 0;
     }
@@ -271,6 +312,7 @@ main(int argc, char **argv)
                 runGraphRoofline(ds, {model}, epochs,
                                  /*batch_size=*/0, /*seed=*/1));
         }
+        writeTraceOutput(trace_path);
         writeStatsOutputs(args);
         return 0;
     }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "backends/backend.hh"
+#include "common/fs.hh"
 #include "common/string_utils.hh"
 #include "core/config.hh"
 #include "data/tu_dataset.hh"

@@ -16,6 +16,7 @@
 #include "backends/dgl/hetero_graph.hh"
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "obs/spans.hh"
 #include "obs/stats.hh"
 
 namespace gnnperf {
@@ -24,6 +25,7 @@ BatchedGraph
 DglBackend::collate(const std::vector<const Graph *> &graphs) const
 {
     gnnperf_assert(!graphs.empty(), "collate: empty batch");
+    HostSpan span("dgl.collate");
 
     BatchedGraph batch;
     batch.numGraphs = static_cast<int64_t>(graphs.size());

@@ -14,6 +14,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "obs/spans.hh"
 #include "obs/stats.hh"
 
 namespace gnnperf {
@@ -29,6 +30,7 @@ collatePygStyle(const std::vector<const Graph *> &graphs,
                 double ops_per_graph)
 {
     gnnperf_assert(!graphs.empty(), "collate: empty batch");
+    HostSpan span("pyg.collate");
 
     BatchedGraph batch;
     batch.numGraphs = static_cast<int64_t>(graphs.size());

@@ -15,6 +15,12 @@
  *   GNNPERF_LOG_TIME=1    — timestamp log lines
  *   GNNPERF_STATS=1       — enable stats sampling in the benches
  *                           (obs/stats.hh)
+ *   GNNPERF_TRACE=FILE|1  — record the merged execution trace
+ *                           (obs/exec_trace.hh): FILE writes there;
+ *                           1 writes <prefix>.trace.json into
+ *                           GNNPERF_CSV_DIR (benches). run_experiment
+ *                           honours it too; --trace-out wins when
+ *                           both are set.
  */
 
 #ifndef GNNPERF_COMMON_ENV_HH

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.hh"
+
 namespace gnnperf {
 
 namespace {
@@ -37,6 +39,17 @@ ensureDir(const std::string &path)
     if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
         return false;
     return isDir(path);
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        gnnperf_fatal("cannot open ", path, " for writing");
+    file << content;
+    if (!file)
+        gnnperf_fatal("write to ", path, " failed");
 }
 
 bool

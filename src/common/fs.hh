@@ -24,6 +24,14 @@ bool ensureDir(const std::string &path);
  */
 bool readFile(const std::string &path, std::string &out);
 
+/**
+ * Write a string to a file, fatal on any I/O error. The single
+ * artifact writer behind every exporter (tables, stats, roofline,
+ * bench baselines, traces): an artifact the user asked for that
+ * cannot be written is a fatal misconfiguration, never a silent skip.
+ */
+void writeFile(const std::string &path, const std::string &content);
+
 } // namespace gnnperf
 
 #endif // GNNPERF_COMMON_FS_HH

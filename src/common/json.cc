@@ -273,4 +273,66 @@ parseJson(const std::string &text, JsonValue &out, std::string *error)
     return ok;
 }
 
+namespace {
+
+void
+serialize(const JsonValue &value, std::string &out)
+{
+    switch (value.type) {
+      case JsonValue::Type::Null:
+        out += "null";
+        return;
+      case JsonValue::Type::Bool:
+        out += value.boolean ? "true" : "false";
+        return;
+      case JsonValue::Type::Number: {
+        const double n = value.number;
+        if (std::isfinite(n) && n == std::floor(n) &&
+            std::abs(n) < 1e15) {
+            out += strprintf("%.0f", n);
+        } else {
+            // %.17g round-trips every finite double.
+            out += strprintf("%.17g", n);
+        }
+        return;
+      }
+      case JsonValue::Type::String:
+        out += '"';
+        out += jsonEscape(value.str);
+        out += '"';
+        return;
+      case JsonValue::Type::Array:
+        out += '[';
+        for (std::size_t i = 0; i < value.array.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            serialize(value.array[i], out);
+        }
+        out += ']';
+        return;
+      case JsonValue::Type::Object:
+        out += '{';
+        for (std::size_t i = 0; i < value.object.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += '"';
+            out += jsonEscape(value.object[i].first);
+            out += "\":";
+            serialize(value.object[i].second, out);
+        }
+        out += '}';
+        return;
+    }
+}
+
+} // namespace
+
+std::string
+jsonToString(const JsonValue &value)
+{
+    std::string out;
+    serialize(value, out);
+    return out;
+}
+
 } // namespace gnnperf

@@ -59,6 +59,15 @@ class JsonValue
 bool parseJson(const std::string &text, JsonValue &out,
                std::string *error = nullptr);
 
+/**
+ * Serialize a value back to compact JSON (no whitespace). Numbers
+ * print as integers when integral, shortest-round-trip otherwise;
+ * object key order and duplicates are preserved, so
+ * parse → serialize → parse is lossless. Used by gnnperf_trace to
+ * re-emit merged trace documents.
+ */
+std::string jsonToString(const JsonValue &value);
+
 } // namespace gnnperf
 
 #endif // GNNPERF_COMMON_JSON_HH

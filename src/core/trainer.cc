@@ -9,6 +9,8 @@
 #include "nn/loss.hh"
 #include "nn/lr_scheduler.hh"
 #include "nn/optimizer.hh"
+#include "obs/exec_trace.hh"
+#include "obs/spans.hh"
 #include "obs/stats.hh"
 
 namespace gnnperf {
@@ -107,6 +109,11 @@ replayAndClear(const Backend &backend, const TrainOptions &opts)
                                         prof.layerNames());
     if (opts.traceObserver)
         opts.traceObserver(prof.trace(), prof.layerNames());
+    // Feed the merged execution trace (no-op unless enabled) before
+    // the per-epoch trace is dropped.
+    ExecTrace::instance().captureSimulated(prof.trace(),
+                                          backend.dispatchOverhead(),
+                                          backend.name());
     prof.clearTrace();
     return t;
 }
@@ -166,6 +173,7 @@ trainNodeTask(ModelKind kind, const Backend &backend,
     double total_time = 0.0;
 
     for (int epoch = 0; epoch < max_epochs; ++epoch) {
+        HostSpan epoch_span("epoch");
         // --- training step (full batch) ---
         Var logits;
         {
@@ -333,6 +341,7 @@ trainGraphTask(ModelKind kind, const Backend &backend,
     std::size_t iters_per_epoch = 1;
 
     for (int epoch = 0; epoch < max_epochs; ++epoch) {
+        HostSpan epoch_span("epoch");
         iters_per_epoch = runTrainEpoch(*model, optimizer,
                                         train_loader);
         auto [val_loss, val_acc] = evaluateLoader(*model, val_loader);

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "obs/spans.hh"
 #include "obs/stats.hh"
 
 namespace gnnperf {
@@ -42,6 +43,7 @@ DataLoader::next(BatchedGraph &out)
     if (cursor_ >= indices_.size())
         return false;
     PhaseScope phase(Phase::DataLoading);
+    HostSpan span("dataloader.next");
     const std::size_t end = std::min(
         cursor_ + static_cast<std::size_t>(batchSize_), indices_.size());
     std::vector<const Graph *> members;

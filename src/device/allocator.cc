@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/memtrace.hh"
 
 namespace gnnperf {
 
@@ -24,6 +25,7 @@ DirectAllocator::allocate(std::size_t bytes)
     DeviceManager &dm = DeviceManager::instance();
     dm.notifyReserve(device_, capacity);
     dm.notifyAlloc(device_, bytes);
+    MemTracer::instance().onAlloc(device_, block);
     return block;
 }
 
@@ -35,6 +37,7 @@ DirectAllocator::release(MemoryBlock *block)
     DeviceManager &dm = DeviceManager::instance();
     dm.notifyFree(device_, block->requested);
     dm.notifyUnreserve(device_, block->size);
+    MemTracer::instance().onFree(device_, block);
     delete[] block->ptr;
     delete block;
 }
@@ -95,6 +98,7 @@ CachingAllocator::allocate(std::size_t bytes)
             block->size = rounded;
             free_.insert(rest);
             dm.notifySplit(device_);
+            MemTracer::instance().onSplit(device_, rest->size);
         }
     } else {
         // Pool miss: reserve a fresh segment from the system.
@@ -110,6 +114,7 @@ CachingAllocator::allocate(std::size_t bytes)
     block->requested = bytes;
     block->lastUseGen = gen_;
     dm.notifyAlloc(device_, bytes);
+    MemTracer::instance().onAlloc(device_, block);
     return block;
 }
 
@@ -132,27 +137,32 @@ CachingAllocator::release(MemoryBlock *block)
     gnnperf_assert(!block->isFree, "double free of a cached block");
     DeviceManager &dm = DeviceManager::instance();
     dm.notifyFree(device_, block->requested);
+    MemTracer::instance().onFree(device_, block);
     block->requested = 0;
     block->isFree = true;
 
     // Coalesce with free address-neighbours inside the segment.
     if (block->next != nullptr && block->next->isFree) {
+        const std::size_t absorbed = block->next->size;
         free_.erase(block->next);
         mergeWithNext(block);
         dm.notifyCoalesce(device_);
+        MemTracer::instance().onCoalesce(device_, absorbed);
     }
     if (block->prev != nullptr && block->prev->isFree) {
         MemoryBlock *prev = block->prev;
+        const std::size_t absorbed = block->size;
         free_.erase(prev);
         mergeWithNext(prev);
         dm.notifyCoalesce(device_);
+        MemTracer::instance().onCoalesce(device_, absorbed);
         block = prev;
     }
     block->lastUseGen = gen_;
     free_.insert(block);
 }
 
-void
+std::size_t
 CachingAllocator::releaseSegments(bool only_stale)
 {
     DeviceManager &dm = DeviceManager::instance();
@@ -166,18 +176,24 @@ CachingAllocator::releaseSegments(bool only_stale)
             continue;
         victims.push_back(b);
     }
+    std::size_t freed = 0;
     for (MemoryBlock *b : victims) {
         free_.erase(b);
         dm.notifyUnreserve(device_, b->size);
+        freed += b->size;
         delete[] b->ptr;
         delete b;
     }
+    return freed;
 }
 
 void
 CachingAllocator::emptyCache()
 {
-    releaseSegments(/*only_stale=*/false);
+    const std::size_t freed = releaseSegments(/*only_stale=*/false);
+    MemTracer::instance().onCacheRelease(device_,
+                                         MemEventKind::EmptyCache,
+                                         freed);
 }
 
 void
@@ -186,8 +202,10 @@ CachingAllocator::trim()
     // A block survives the first trim after its last use and is
     // dropped by the next one — i.e. cached memory unused for a full
     // epoch goes back to the system.
-    releaseSegments(/*only_stale=*/true);
+    const std::size_t freed = releaseSegments(/*only_stale=*/true);
     ++gen_;
+    MemTracer::instance().onCacheRelease(device_, MemEventKind::Trim,
+                                         freed);
 }
 
 std::size_t

@@ -56,6 +56,7 @@ struct MemoryBlock
     bool isFree = false;
     bool segmentHead = false;  ///< owns the segment's backing array
     uint64_t lastUseGen = 0;   ///< trim generation of the last use
+    uint64_t traceId = 0;      ///< MemTracer id (0 = untracked)
 
     float *floats() { return reinterpret_cast<float *>(ptr); }
     const float *floats() const
@@ -156,8 +157,11 @@ class CachingAllocator final : public Allocator
     static std::size_t roundUp(std::size_t bytes);
     /** Absorb `b->next` (must be free) into `b`. */
     void mergeWithNext(MemoryBlock *b);
-    /** Drop every fully-free segment matching `pred`-style gen cut. */
-    void releaseSegments(bool only_stale);
+    /**
+     * Drop every fully-free segment matching `pred`-style gen cut;
+     * returns the bytes returned to the system.
+     */
+    std::size_t releaseSegments(bool only_stale);
 
     std::set<MemoryBlock *, BlockOrder> free_;
     uint64_t gen_ = 1;

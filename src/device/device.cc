@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "device/allocator.hh"
+#include "obs/memtrace.hh"
 #include "obs/stats.hh"
 
 namespace gnnperf {
@@ -148,6 +149,15 @@ AllocatorKind
 DeviceManager::allocatorKind(DeviceKind kind) const
 {
     return device(kind).active->kind();
+}
+
+void
+DeviceManager::resetPeak(DeviceKind kind)
+{
+    stats(kind).resetPeak();
+    // Emit a reset_peak marker so the trace's measurement window and
+    // the stats peaks stay aligned.
+    MemTracer::instance().onResetPeak(kind);
 }
 
 void

@@ -144,8 +144,12 @@ class DeviceManager
 
     // --- device-parametric peak queries ---
 
-    /** Reset a device's logical + reserved high-water marks. */
-    void resetPeak(DeviceKind kind) { stats(kind).resetPeak(); }
+    /**
+     * Reset a device's logical + reserved high-water marks. Notifies
+     * the MemTracer (obs/memtrace.hh) so the trace carries a window
+     * marker aligning counter-track maxima with the stats peaks.
+     */
+    void resetPeak(DeviceKind kind);
 
     std::size_t
     current(DeviceKind kind) const

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "device/trace.hh"
+#include "obs/spans.hh"
 
 namespace gnnperf {
 
@@ -95,14 +96,20 @@ class Profiler
     std::unordered_map<std::string, int16_t> layerIds_;
 };
 
-/** RAII phase scope: sets the phase, restores the previous on exit. */
+/**
+ * RAII phase scope: sets the phase, restores the previous on exit.
+ * Doubles as a wall-clock HostSpan (obs/spans.hh) so enabling the
+ * span tracer times every phase for real; the span opens *after* the
+ * phase switch so it is stamped with the new phase.
+ */
 class PhaseScope
 {
   public:
     explicit PhaseScope(Phase phase)
-        : prev_(Profiler::instance().phase())
+        : prev_(Profiler::instance().phase()),
+          span_((Profiler::instance().setPhase(phase),
+                 phaseName(phase)))
     {
-        Profiler::instance().setPhase(phase);
     }
 
     ~PhaseScope() { Profiler::instance().setPhase(prev_); }
@@ -112,16 +119,21 @@ class PhaseScope
 
   private:
     Phase prev_;
+    HostSpan span_;
 };
 
-/** RAII layer scope: tags records with a layer name (e.g. "conv2"). */
+/**
+ * RAII layer scope: tags records with a layer name (e.g. "conv2").
+ * Also a wall-clock HostSpan, opened after the layer push so the span
+ * carries its own layer id.
+ */
 class LayerScope
 {
   public:
     explicit LayerScope(const char *name)
-        : prev_(Profiler::instance().layer())
+        : prev_(Profiler::instance().layer()),
+          span_((Profiler::instance().pushLayer(name), name))
     {
-        Profiler::instance().pushLayer(name);
     }
 
     ~LayerScope() { Profiler::instance().setLayer(prev_); }
@@ -131,6 +143,7 @@ class LayerScope
 
   private:
     int16_t prev_;
+    HostSpan span_;
 };
 
 /** Convenience free functions for emitting records. */

@@ -16,6 +16,19 @@ phaseName(Phase phase)
     return "?";
 }
 
+const char *
+hostOpKindName(HostOpKind kind)
+{
+    switch (kind) {
+      case HostOpKind::Memcpy: return "memcpy";
+      case HostOpKind::IndexedGather: return "indexed_gather";
+      case HostOpKind::MetaBuild: return "meta_build";
+      case HostOpKind::H2DTransfer: return "h2d_transfer";
+      case HostOpKind::Dispatch: return "dispatch";
+    }
+    return "?";
+}
+
 std::size_t
 Trace::kernelCount() const
 {

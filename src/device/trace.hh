@@ -48,6 +48,12 @@ enum class HostOpKind : uint8_t {
     Dispatch,       ///< framework-level op dispatch overhead
 };
 
+/** Number of distinct host-op kinds. */
+constexpr int kNumHostOpKinds = 5;
+
+/** Human-readable host-op kind name ("memcpy", "indexed_gather", …). */
+const char *hostOpKindName(HostOpKind kind);
+
 /** A GPU kernel launch observed during real execution. */
 struct KernelRecord
 {

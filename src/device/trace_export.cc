@@ -1,28 +1,36 @@
 #include "device/trace_export.hh"
 
 #include <algorithm>
-#include <fstream>
 #include <map>
 
-#include "common/logging.hh"
 #include "common/string_utils.hh"
 
 namespace gnnperf {
 
 std::string
-traceToChromeJson(const Trace &trace, const CostModel &model,
-                  double dispatch_overhead)
+chromeProcessName(int pid, const std::string &name)
 {
-    std::string out = "[\n";
-    out += strprintf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
-                     "\"args\":{\"name\":\"gnnperf simulated\"}},\n");
-    out += strprintf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                     "\"tid\":1,\"args\":{\"name\":\"host\"}},\n");
-    out += strprintf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                     "\"tid\":2,\"args\":{\"name\":\"gpu stream\"}}");
+    return strprintf("{\"name\":\"process_name\",\"ph\":\"M\","
+                     "\"pid\":%d,\"args\":{\"name\":\"%s\"}}",
+                     pid, jsonEscape(name).c_str());
+}
 
-    double host = 0.0;
-    double gpu_free = 0.0;
+std::string
+chromeThreadName(int pid, int tid, const std::string &name)
+{
+    return strprintf("{\"name\":\"thread_name\",\"ph\":\"M\","
+                     "\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                     pid, tid, jsonEscape(name).c_str());
+}
+
+double
+appendChromeTraceEvents(std::string &out, const Trace &trace,
+                        const CostModel &model,
+                        double dispatch_overhead, int pid,
+                        double start_ts_us)
+{
+    double host = start_ts_us * 1e-6;
+    double gpu_free = host;
     for (const auto &entry : trace.entries()) {
         if (entry.isKernel) {
             const auto &k = entry.kernel;
@@ -31,30 +39,42 @@ traceToChromeJson(const Trace &trace, const CostModel &model,
             // Host-side launch slice.
             out += strprintf(
                 ",\n{\"name\":\"launch %s\",\"cat\":\"%s\",\"ph\":\"X\","
-                "\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f}",
-                name.c_str(), phaseName(k.phase), host * 1e6,
+                "\"pid\":%d,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f}",
+                name.c_str(), phaseName(k.phase), pid, host * 1e6,
                 dispatch_overhead * 1e6);
             host += dispatch_overhead;
             const double start = std::max(host, gpu_free);
             gpu_free = start + dur;
             out += strprintf(
                 ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                "\"pid\":1,\"tid\":2,\"ts\":%.3f,\"dur\":%.3f,"
+                "\"pid\":%d,\"tid\":2,\"ts\":%.3f,\"dur\":%.3f,"
                 "\"args\":{\"flops\":%.0f,\"bytes\":%.0f}}",
-                name.c_str(), phaseName(k.phase), start * 1e6,
+                name.c_str(), phaseName(k.phase), pid, start * 1e6,
                 dur * 1e6, k.flops, k.bytes);
         } else {
             const auto &h = entry.host;
             const double dur = model.hostTime(h);
             out += strprintf(
                 ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                "\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,"
+                "\"pid\":%d,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,"
                 "\"args\":{\"bytes\":%.0f,\"items\":%.0f}}",
-                jsonEscape(h.name).c_str(), phaseName(h.phase),
+                jsonEscape(h.name).c_str(), phaseName(h.phase), pid,
                 host * 1e6, dur * 1e6, h.bytes, h.items);
             host += dur;
         }
     }
+    return std::max(host, gpu_free) * 1e6;
+}
+
+std::string
+traceToChromeJson(const Trace &trace, const CostModel &model,
+                  double dispatch_overhead)
+{
+    std::string out = "[\n";
+    out += chromeProcessName(1, "gnnperf simulated") + ",\n";
+    out += chromeThreadName(1, 1, "host") + ",\n";
+    out += chromeThreadName(1, 2, "gpu stream");
+    appendChromeTraceEvents(out, trace, model, dispatch_overhead, 1);
     out += "\n]\n";
     return out;
 }
@@ -111,17 +131,6 @@ kernelSummaryToCsv(const std::vector<KernelSummaryRow> &rows)
                          row.flops, row.bytes, row.gpuSeconds);
     }
     return out;
-}
-
-void
-writeFile(const std::string &path, const std::string &content)
-{
-    std::ofstream file(path, std::ios::binary);
-    if (!file)
-        gnnperf_fatal("cannot open ", path, " for writing");
-    file << content;
-    if (!file)
-        gnnperf_fatal("write to ", path, " failed");
 }
 
 } // namespace gnnperf

@@ -31,6 +31,27 @@ namespace gnnperf {
 std::string traceToChromeJson(const Trace &trace, const CostModel &model,
                               double dispatch_overhead);
 
+/** `{"name":"process_name",...}` metadata event (no trailing comma). */
+std::string chromeProcessName(int pid, const std::string &name);
+
+/** `{"name":"thread_name",...}` metadata event (no trailing comma). */
+std::string chromeThreadName(int pid, int tid, const std::string &name);
+
+/**
+ * Append the priced slices of one trace to a Chrome trace-event
+ * stream under the given pid (tid 1 = host, tid 2 = GPU stream),
+ * starting at `start_ts_us` on the simulated clock; returns the µs
+ * timestamp where the appended slices end, so successive epochs can
+ * be laid out back to back. Every emitted event is preceded by ",\n",
+ * so the caller must have written at least one event already. Used by
+ * both traceToChromeJson and the merged execution trace
+ * (obs/exec_trace.hh).
+ */
+double appendChromeTraceEvents(std::string &out, const Trace &trace,
+                               const CostModel &model,
+                               double dispatch_overhead, int pid,
+                               double start_ts_us = 0.0);
+
 /**
  * CSV summary of a replayed timeline: one row per phase with elapsed
  * seconds, kernel count and GPU-busy seconds.
@@ -56,9 +77,6 @@ std::vector<KernelSummaryRow> summarizeKernels(const Trace &trace,
 /** Render a kernel summary as CSV (name,count,flops,bytes,seconds). */
 std::string kernelSummaryToCsv(
     const std::vector<KernelSummaryRow> &rows);
-
-/** Write a string to a file (fatal on I/O error). */
-void writeFile(const std::string &path, const std::string &content);
 
 } // namespace gnnperf
 

@@ -148,12 +148,8 @@ RooflineAnalyzer::addTrace(const Trace &trace,
                 const HostRecord &h = rt.entry.host;
                 HostOpGroup &hg =
                     byHostOp_[static_cast<int>(h.kind)];
-                if (hg.name.empty()) {
-                    static const char *kKindNames[] = {
-                        "memcpy", "indexed_gather", "meta_build",
-                        "h2d_transfer", "dispatch"};
-                    hg.name = kKindNames[static_cast<int>(h.kind)];
-                }
+                if (hg.name.empty())
+                    hg.name = hostOpKindName(h.kind);
                 ++hg.ops;
                 hg.bytes += h.bytes;
                 hg.items += h.items;

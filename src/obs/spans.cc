@@ -1,0 +1,171 @@
+#include "obs/spans.hh"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "device/profiler.hh"
+
+namespace gnnperf {
+
+namespace {
+
+/** Innermost-first stack of open span name ids, per thread. */
+thread_local std::vector<int32_t> t_openStack;
+
+} // namespace
+
+SpanTracer &
+SpanTracer::instance()
+{
+    static SpanTracer tracer;
+    return tracer;
+}
+
+double
+SpanTracer::nowUs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration<double, std::micro>(clock::now() -
+                                                     epoch)
+        .count();
+}
+
+int32_t
+SpanTracer::internNameLocked(const char *name)
+{
+    auto it = nameIds_.find(name);
+    if (it != nameIds_.end())
+        return it->second;
+    const auto id = static_cast<int32_t>(names_.size());
+    names_.emplace_back(name);
+    nameIds_.emplace(name, id);
+    return id;
+}
+
+int32_t
+SpanTracer::threadSlotLocked()
+{
+    const std::uint64_t key = static_cast<std::uint64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    auto it = threadSlots_.find(key);
+    if (it != threadSlots_.end())
+        return it->second;
+    const auto slot = static_cast<int32_t>(threadSlots_.size());
+    threadSlots_.emplace(key, slot);
+    return slot;
+}
+
+OpenSpan
+SpanTracer::open(const char *name)
+{
+    OpenSpan span;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        span.nameId = internNameLocked(name);
+    }
+    t_openStack.push_back(span.nameId);
+    const Profiler &prof = Profiler::instance();
+    span.phase = prof.phase();
+    span.layer = prof.layer();
+    // Stamp time last so the span excludes the bookkeeping above.
+    span.startUs = nowUs();
+    return span;
+}
+
+void
+SpanTracer::close(const OpenSpan &open)
+{
+    const double end = nowUs();
+    SpanRecord span;
+    span.startUs = open.startUs;
+    span.durUs = end - open.startUs;
+    span.nameId = open.nameId;
+    span.phase = open.phase;
+    span.layer = open.layer;
+    if (!t_openStack.empty())
+        t_openStack.pop_back();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    span.tid = threadSlotLocked();
+    ++total_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(span);
+        return;
+    }
+    // Ring full: overwrite the oldest span.
+    ring_[next_] = span;
+    next_ = (next_ + 1) % capacity_;
+}
+
+std::string
+SpanTracer::currentSpanName() const
+{
+    if (t_openStack.empty())
+        return "";
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto id = static_cast<std::size_t>(t_openStack.back());
+    return id < names_.size() ? names_[id] : "";
+}
+
+std::vector<SpanRecord>
+SpanTracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanRecord> out;
+    out.reserve(ring_.size());
+    // Oldest first: the wrapped region starts at the write cursor.
+    for (std::size_t i = next_; i < ring_.size(); ++i)
+        out.push_back(ring_[i]);
+    for (std::size_t i = 0; i < next_; ++i)
+        out.push_back(ring_[i]);
+    return out;
+}
+
+std::vector<std::string>
+SpanTracer::names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_;
+}
+
+std::size_t
+SpanTracer::recordedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+std::size_t
+SpanTracer::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+void
+SpanTracer::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    next_ = 0;
+    total_ = 0;
+    names_.clear();
+    nameIds_.clear();
+    threadSlots_.clear();
+    t_openStack.clear();
+}
+
+void
+SpanTracer::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity > 0 ? capacity : 1;
+    ring_.clear();
+    ring_.reserve(capacity_);
+    next_ = 0;
+    total_ = 0;
+}
+
+} // namespace gnnperf

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Real wall-clock host spans (RAII) into a thread-safe ring buffer.
+ *
+ * The Profiler (device/profiler.hh) records the *modeled* execution —
+ * kernels with FLOP/byte counts priced by the cost model. This tracer
+ * records what actually happened on the host: wall-clock begin/end of
+ * dataloader batches, collation, training phases and layer scopes, so
+ * the real host time can be laid next to the simulated Timeline in
+ * one Chrome/Perfetto trace (obs/exec_trace.hh) — the offline stand-in
+ * for the paper's nvprof/Nsight host-side timelines.
+ *
+ * Cost discipline mirrors the Profiler: collection is off by default
+ * and every record site starts with a relaxed atomic load — a branch
+ * and a return when disabled. When enabled, spans land in a fixed
+ * capacity ring buffer (oldest overwritten, drops counted) guarded by
+ * a mutex, so threaded callers (device/multi_gpu replicas, future
+ * thread pools) can record safely.
+ */
+
+#ifndef GNNPERF_OBS_SPANS_HH
+#define GNNPERF_OBS_SPANS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "device/trace.hh"
+
+namespace gnnperf {
+
+/** One completed wall-clock span. Names are interned (see tracer). */
+struct SpanRecord
+{
+    double startUs = 0.0;   ///< µs since the trace clock epoch
+    double durUs = 0.0;     ///< wall-clock duration in µs
+    int32_t nameId = -1;    ///< interned name id
+    int32_t tid = 0;        ///< small per-thread slot (0 = first seen)
+    Phase phase = Phase::Other;  ///< profiler phase at span start
+    int16_t layer = -1;     ///< profiler layer scope at span start
+};
+
+/** In-flight span state held by HostSpan between open and close. */
+struct OpenSpan
+{
+    double startUs = 0.0;
+    int32_t nameId = -1;
+    Phase phase = Phase::Other;
+    int16_t layer = -1;
+};
+
+/**
+ * Process-wide wall-clock span sink. All methods are thread-safe;
+ * the HostSpan fast path takes the mutex only when enabled.
+ */
+class SpanTracer
+{
+  public:
+    /** Default ring capacity (spans are scope-, not op-grained). */
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    /** The process-wide instance. */
+    static SpanTracer &instance();
+
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** µs since the process-wide trace clock epoch (steady clock). */
+    static double nowUs();
+
+    /**
+     * Begin a span: interns the name, stamps the start time and the
+     * active profiler phase/layer, pushes this thread's open stack.
+     */
+    OpenSpan open(const char *name);
+
+    /** Finish a span begun with open() and append it to the ring. */
+    void close(const OpenSpan &span);
+
+    /** Innermost open span name on this thread ("" when none). */
+    std::string currentSpanName() const;
+
+    /** Spans in chronological order (unwraps the ring). */
+    std::vector<SpanRecord> snapshot() const;
+
+    /** All interned names, indexed by id. */
+    std::vector<std::string> names() const;
+
+    std::size_t recordedCount() const;  ///< spans currently held
+    std::size_t droppedCount() const;   ///< spans lost to ring wrap
+
+    /** Drop all spans and interning; keep enabled state/capacity. */
+    void reset();
+
+    /** Resize the ring (drops existing spans). Test hook. */
+    void setCapacity(std::size_t capacity);
+
+  private:
+    SpanTracer() { ring_.reserve(kDefaultCapacity); }
+
+    int32_t internNameLocked(const char *name);
+    int32_t threadSlotLocked();
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    std::vector<SpanRecord> ring_;
+    std::size_t capacity_ = kDefaultCapacity;
+    std::size_t next_ = 0;        ///< ring write cursor
+    std::uint64_t total_ = 0;     ///< spans ever recorded
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, int32_t> nameIds_;
+    std::unordered_map<std::uint64_t, int32_t> threadSlots_;
+};
+
+/**
+ * RAII wall-clock span. When the tracer is disabled at construction
+ * the constructor is a branch and a member store; nothing is recorded.
+ */
+class HostSpan
+{
+  public:
+    explicit HostSpan(const char *name)
+    {
+        SpanTracer &t = SpanTracer::instance();
+        if (!t.enabled())
+            return;
+        armed_ = true;
+        open_ = t.open(name);
+    }
+
+    ~HostSpan()
+    {
+        if (armed_)
+            SpanTracer::instance().close(open_);
+    }
+
+    HostSpan(const HostSpan &) = delete;
+    HostSpan &operator=(const HostSpan &) = delete;
+
+  private:
+    bool armed_ = false;
+    OpenSpan open_;
+};
+
+} // namespace gnnperf
+
+#endif // GNNPERF_OBS_SPANS_HH

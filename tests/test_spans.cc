@@ -1,0 +1,183 @@
+/**
+ * @file
+ * SpanTracer / HostSpan unit tests: the disabled path records nothing,
+ * enabled spans carry names, durations, phase/layer stamps, the ring
+ * wraps with drop accounting, and PhaseScope/LayerScope double as
+ * wall-clock spans.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/profiler.hh"
+#include "obs/spans.hh"
+
+using namespace gnnperf;
+
+namespace {
+
+class SpanTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SpanTracer::instance().setEnabled(false);
+        SpanTracer::instance().setCapacity(
+            SpanTracer::kDefaultCapacity);
+        SpanTracer::instance().reset();
+    }
+
+    void
+    TearDown() override
+    {
+        SpanTracer::instance().setEnabled(false);
+        SpanTracer::instance().reset();
+    }
+};
+
+TEST_F(SpanTest, DisabledRecordsNothing)
+{
+    SpanTracer &tracer = SpanTracer::instance();
+    ASSERT_FALSE(tracer.enabled());
+    {
+        HostSpan span("should-not-record");
+        HostSpan nested("nested");
+    }
+    EXPECT_EQ(tracer.recordedCount(), 0u);
+    EXPECT_EQ(tracer.droppedCount(), 0u);
+    EXPECT_TRUE(tracer.snapshot().empty());
+    EXPECT_TRUE(tracer.names().empty());
+}
+
+TEST_F(SpanTest, RecordsNamedSpansWithDurations)
+{
+    SpanTracer &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        HostSpan outer("outer");
+        HostSpan inner("inner");
+    }
+    tracer.setEnabled(false);
+
+    const auto spans = tracer.snapshot();
+    const auto names = tracer.names();
+    ASSERT_EQ(spans.size(), 2u);
+    // Inner closes first.
+    EXPECT_EQ(names.at(static_cast<std::size_t>(spans[0].nameId)),
+              "inner");
+    EXPECT_EQ(names.at(static_cast<std::size_t>(spans[1].nameId)),
+              "outer");
+    for (const SpanRecord &s : spans) {
+        EXPECT_GE(s.durUs, 0.0);
+        EXPECT_GE(s.startUs, 0.0);
+    }
+    // Outer starts no later than inner.
+    EXPECT_LE(spans[1].startUs, spans[0].startUs);
+}
+
+TEST_F(SpanTest, InternsRepeatedNames)
+{
+    SpanTracer &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    for (int i = 0; i < 5; ++i)
+        HostSpan span("repeat");
+    tracer.setEnabled(false);
+    EXPECT_EQ(tracer.recordedCount(), 5u);
+    EXPECT_EQ(tracer.names().size(), 1u);
+}
+
+TEST_F(SpanTest, RingWrapsAndCountsDrops)
+{
+    SpanTracer &tracer = SpanTracer::instance();
+    tracer.setCapacity(4);
+    tracer.setEnabled(true);
+    for (int i = 0; i < 10; ++i)
+        HostSpan span("wrap");
+    tracer.setEnabled(false);
+    EXPECT_EQ(tracer.recordedCount(), 4u);
+    EXPECT_EQ(tracer.droppedCount(), 6u);
+    // Snapshot is chronological even after wrapping.
+    const auto spans = tracer.snapshot();
+    for (std::size_t i = 1; i < spans.size(); ++i)
+        EXPECT_GE(spans[i].startUs, spans[i - 1].startUs);
+}
+
+TEST_F(SpanTest, CurrentSpanNameTracksNesting)
+{
+    SpanTracer &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    EXPECT_EQ(tracer.currentSpanName(), "");
+    {
+        HostSpan outer("outer");
+        EXPECT_EQ(tracer.currentSpanName(), "outer");
+        {
+            HostSpan inner("inner");
+            EXPECT_EQ(tracer.currentSpanName(), "inner");
+        }
+        EXPECT_EQ(tracer.currentSpanName(), "outer");
+    }
+    EXPECT_EQ(tracer.currentSpanName(), "");
+    tracer.setEnabled(false);
+}
+
+TEST_F(SpanTest, SpansCarryProfilerPhase)
+{
+    SpanTracer &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        PhaseScope phase(Phase::Backward);
+        HostSpan span("in-backward");
+    }
+    tracer.setEnabled(false);
+
+    const auto spans = tracer.snapshot();
+    const auto names = tracer.names();
+    // The PhaseScope itself is also a span ("backward"), stamped with
+    // the phase it switched to.
+    ASSERT_EQ(spans.size(), 2u);
+    for (const SpanRecord &s : spans)
+        EXPECT_EQ(s.phase, Phase::Backward);
+    EXPECT_EQ(names.at(static_cast<std::size_t>(spans[0].nameId)),
+              "in-backward");
+    EXPECT_EQ(names.at(static_cast<std::size_t>(spans[1].nameId)),
+              "backward");
+}
+
+TEST_F(SpanTest, LayerScopeOpensLayerStampedSpan)
+{
+    Profiler::instance().reset();
+    SpanTracer &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        LayerScope layer("conv1");
+    }
+    tracer.setEnabled(false);
+
+    const auto spans = tracer.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(tracer.names().at(
+                  static_cast<std::size_t>(spans[0].nameId)),
+              "conv1");
+    // The span carries the layer id pushed by the scope it rides on.
+    ASSERT_GE(spans[0].layer, 0);
+    EXPECT_EQ(Profiler::instance().layerNames().at(
+                  static_cast<std::size_t>(spans[0].layer)),
+              "conv1");
+}
+
+TEST_F(SpanTest, ResetDropsEverything)
+{
+    SpanTracer &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        HostSpan span("gone");
+    }
+    tracer.reset();
+    EXPECT_EQ(tracer.recordedCount(), 0u);
+    EXPECT_TRUE(tracer.names().empty());
+    // Still enabled: reset clears data, not the switch.
+    EXPECT_TRUE(tracer.enabled());
+    tracer.setEnabled(false);
+}
+
+} // namespace

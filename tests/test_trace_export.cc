@@ -8,8 +8,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 
+#include "common/fs.hh"
+#include "common/json.hh"
+#include "device/allocator.hh"
 #include "device/trace_export.hh"
+#include "obs/exec_trace.hh"
+#include "obs/spans.hh"
 
 using namespace gnnperf;
 
@@ -178,4 +184,139 @@ TEST(WriteFile, RoundTrip)
                         std::istreambuf_iterator<char>());
     EXPECT_EQ(content, "hello\nworld\n");
     std::remove(path.c_str());
+}
+
+TEST(WriteFileDeathTest, FatalOnUnwritablePath)
+{
+    // A directory can never be opened for writing: the single shared
+    // artifact writer must die loudly, not skip silently.
+    EXPECT_DEATH(writeFile("/tmp", "x"), "cannot open");
+}
+
+TEST(ChromeTrace, ParsesWithCommonJson)
+{
+    const std::string json = traceToChromeJson(
+        sampleTrace(), CostModel::defaultModel(), 30e-6);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(json, doc, &error)) << error;
+    ASSERT_TRUE(doc.isArray());
+    // 9 slices (see EventCountMatchesTrace) + 3 metadata events.
+    EXPECT_EQ(doc.array.size(), 12u);
+    for (const JsonValue &ev : doc.array) {
+        EXPECT_TRUE(ev.at("name").isString());
+        EXPECT_TRUE(ev.at("ph").isString());
+        EXPECT_TRUE(ev.at("pid").isNumber());
+    }
+}
+
+TEST(ExecTraceJson, MergedTraceParsesWithAllTrackGroups)
+{
+    ExecTrace &trace = ExecTrace::instance();
+    trace.enable();
+    {
+        HostSpan span("unit-span");
+        CachingAllocator alloc(DeviceKind::Cuda);
+        MemoryBlock *block = alloc.allocate(4096);
+        alloc.release(block);
+        alloc.emptyCache();
+    }
+    trace.captureSimulated(sampleTrace(), 30e-6, "unit");
+    trace.captureSimulated(sampleTrace(), 30e-6, "unit");
+    trace.disable();
+    const std::string json = trace.toJson();
+    const std::string table = trace.peakTable(DeviceKind::Cuda);
+    trace.reset();
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(json, doc, &error)) << error;
+    const JsonValue &events = doc.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+
+    // All three synchronized views are present: pid 1 simulated,
+    // pid 2 real host spans, pid 3 memory timeline.
+    std::set<int> pids;
+    for (const JsonValue &ev : events.array)
+        pids.insert(static_cast<int>(ev.at("pid").asNumber()));
+    EXPECT_TRUE(pids.count(1)) << "simulated track missing";
+    EXPECT_TRUE(pids.count(2)) << "host span track missing";
+    EXPECT_TRUE(pids.count(3)) << "memory track missing";
+
+    EXPECT_EQ(doc.at("meta").at("simulated_epochs").asNumber(), 2.0);
+    EXPECT_TRUE(doc.at("stats_peaks").at("cuda").at("logical")
+                    .isNumber());
+    const JsonValue &cuda_peak =
+        doc.at("peak_attribution").at("cuda").at("logical");
+    EXPECT_TRUE(cuda_peak.at("valid").isBool());
+    EXPECT_TRUE(cuda_peak.at("top_blocks").isArray());
+
+    // The human-readable peak report names the peak and its owner.
+    EXPECT_NE(table.find("peak"), std::string::npos);
+    EXPECT_NE(table.find("block #"), std::string::npos);
+}
+
+TEST(ExecTraceJson, SimulatedEpochsLayOutBackToBack)
+{
+    ExecTrace &trace = ExecTrace::instance();
+    trace.enable();
+    trace.captureSimulated(sampleTrace(), 30e-6, "unit");
+    trace.captureSimulated(sampleTrace(), 30e-6, "unit");
+    trace.disable();
+    const std::string json = trace.toJson();
+    trace.reset();
+
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(json, doc, nullptr));
+    // Equal epochs: the second copy of every slice starts after the
+    // first epoch ends, so per-(pid,tid) timestamps never collide.
+    std::set<std::pair<double, double>> seen;
+    bool collision = false;
+    for (const JsonValue &ev : doc.at("traceEvents").array) {
+        if (ev.at("ph").str != "X" ||
+            static_cast<int>(ev.at("pid").asNumber()) != 1)
+            continue;
+        const auto key = std::make_pair(ev.at("tid").asNumber(),
+                                        ev.at("ts").asNumber());
+        collision = collision || !seen.insert(key).second;
+    }
+    EXPECT_FALSE(collision);
+}
+
+TEST(EnumNames, PhaseNamesExhaustive)
+{
+    EXPECT_EQ(kNumPhases, 6);
+    const char *expected[kNumPhases] = {
+        "data_loading", "forward", "backward",
+        "update",       "evaluation", "other",
+    };
+    for (int i = 0; i < kNumPhases; ++i)
+        EXPECT_STREQ(phaseName(static_cast<Phase>(i)), expected[i]);
+}
+
+TEST(EnumNames, HostOpKindNamesExhaustive)
+{
+    EXPECT_EQ(kNumHostOpKinds, 5);
+    const char *expected[kNumHostOpKinds] = {
+        "memcpy", "indexed_gather", "meta_build", "h2d_transfer",
+        "dispatch",
+    };
+    for (int i = 0; i < kNumHostOpKinds; ++i)
+        EXPECT_STREQ(hostOpKindName(static_cast<HostOpKind>(i)),
+                     expected[i]);
+}
+
+TEST(JsonToString, RoundTripIsLossless)
+{
+    const std::string src =
+        "{\"a\":[1,2.5,true,null,\"s\\n\"],\"b\":{\"c\":-3},"
+        "\"a\":\"dup\"}";
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(src, doc, nullptr));
+    const std::string once = jsonToString(doc);
+    // Integers stay integers, key order and duplicates survive.
+    EXPECT_EQ(once, src);
+    JsonValue again;
+    ASSERT_TRUE(parseJson(once, again, nullptr));
+    EXPECT_EQ(jsonToString(again), once);
 }
