@@ -98,6 +98,7 @@ class Baseline
     ~Baseline()
     {
         appendAllocatorSeries(series_);
+        appendParallelSeries(series_);
         maybeWriteCsv("BENCH_" + name_ + ".json",
                       diff::baselineToJson(name_, series_));
     }

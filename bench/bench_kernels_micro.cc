@@ -8,15 +8,30 @@
  *  - PyG scatter-based pooling vs DGL segment reduction
  *  - PyG composed edge softmax vs DGL fused edge softmax
  *
- * These measure REAL single-core CPU time of our implementations (not
- * the simulated-GPU times the table benches report); they justify the
+ * These measure REAL CPU time of our implementations (not the
+ * simulated-GPU times the table benches report); they justify the
  * relative op counts/bytes that drive the timing model.
+ *
+ * After the google-benchmark suite, a thread-scaling pass times the
+ * hot kernels at 1/2/4/hw pool widths (src/parallel/), asserts each
+ * width's output is byte-identical to the single-thread run, and emits
+ * the results as `threads.<kernel>.t<N>.{ms,speedup_x,match_t1}`
+ * series into the BENCH baseline (GNNPERF_CSV_DIR →
+ * BENCH_kernels_micro.json) so `gnnperf_diff` can gate the
+ * deterministic match_t1 bits. Wall-clock ms/speedup values are
+ * machine-dependent; gate them only with generous thresholds.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <functional>
+
 #include "autograd/functions.hh"
 #include "backends/backend.hh"
+#include "bench_common.hh"
 #include "common/random.hh"
 #include "data/tu_dataset.hh"
 #include "device/device.hh"
@@ -25,6 +40,7 @@
 #include "graph/scatter.hh"
 #include "graph/segment.hh"
 #include "graph/spmm.hh"
+#include "parallel/thread_pool.hh"
 #include "tensor/init.hh"
 #include "tensor/matmul.hh"
 #include "tensor/ops.hh"
@@ -226,6 +242,107 @@ BM_Sgemm(benchmark::State &state)
 }
 BENCHMARK(BM_Sgemm)->Arg(64)->Arg(256);
 
+/**
+ * Thread-scaling series: per kernel, wall-clock best-of-5 at each pool
+ * width plus a byte-identity bit against the single-thread output.
+ */
+void
+runThreadScaling(bench::Baseline &base)
+{
+    std::printf("\nthread scaling (best-of-5 wall ms per width)\n");
+    BatchFixture fix(64, 64, FrameworkKind::DGL);
+    const CsrIndex &in = *fix.batch.inIndex;
+    Rng rng(11);
+    const Tensor ga = init::normal({256, 256}, 0.0f, 1.0f, rng);
+    const Tensor gb = init::normal({256, 256}, 0.0f, 1.0f, rng);
+    const Tensor logits =
+        init::normal({fix.batch.numEdges(), 8}, 0.0f, 1.0f, rng);
+
+    struct ScaleKernel
+    {
+        const char *name;
+        std::function<Tensor()> run;
+    };
+    const std::vector<ScaleKernel> kernels = {
+        {"spmm", [&] { return graphops::spmmCopyUSum(in, fix.features); }},
+        {"gemm", [&] { return ops::matmul(ga, gb); }},
+        {"edge_softmax",
+         [&] { return graphops::edgeSoftmaxFused(in, logits); }},
+        {"segment_sum",
+         [&] {
+             return graphops::segmentSum(fix.features,
+                                         fix.batch.graphPtr);
+         }},
+        {"scatter_add",
+         [&] {
+             return ops::scatterAddRows(fix.features, fix.batch.nodeGraph,
+                                        fix.batch.numGraphs);
+         }},
+        {"relu", [&] { return ops::relu(fix.features); }},
+    };
+
+    std::vector<int> widths = {1, 2, 4,
+                               par::ThreadPool::defaultThreads()};
+    std::sort(widths.begin(), widths.end());
+    widths.erase(std::unique(widths.begin(), widths.end()),
+                 widths.end());
+
+    auto bestMs = [](const std::function<Tensor()> &run) {
+        double best = 1e300;
+        for (int rep = 0; rep < 5; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            Tensor out = run();
+            const auto t1 = std::chrono::steady_clock::now();
+            benchmark::DoNotOptimize(out.data());
+            best = std::min(
+                best, std::chrono::duration<double, std::milli>(t1 - t0)
+                          .count());
+        }
+        return best;
+    };
+
+    for (const auto &k : kernels) {
+        Tensor ref;
+        double t1_ms = 0.0;
+        {
+            par::ThreadScope scope(1);
+            ref = k.run(); // warm-up + reference output
+            t1_ms = bestMs(k.run);
+        }
+        for (int w : widths) {
+            par::ThreadScope scope(w);
+            Tensor out = k.run(); // warm-up + identity check
+            const bool match =
+                out.numel() == ref.numel() &&
+                std::memcmp(out.data(), ref.data(),
+                            static_cast<std::size_t>(out.numel()) *
+                                sizeof(float)) == 0;
+            const double ms = bestMs(k.run);
+            const std::string key =
+                std::string("threads.") + k.name + ".t" +
+                std::to_string(w);
+            base.add(key + ".ms", ms);
+            base.add(key + ".speedup_x", ms > 0.0 ? t1_ms / ms : 0.0);
+            base.add(key + ".match_t1", match ? 1.0 : 0.0);
+            std::printf("  %-14s t%-2d %8.3f ms  %5.2fx  %s\n", k.name,
+                        w, ms, ms > 0.0 ? t1_ms / ms : 0.0,
+                        match ? "bitwise==t1" : "MISMATCH");
+        }
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::StatsScope stats("kernels_micro");
+    bench::Baseline baseline("kernels_micro");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    runThreadScaling(baseline);
+    return 0;
+}

@@ -9,6 +9,7 @@
  *                  [--dataset cora|pubmed|enzymes|dd|mnist]
  *                  [--epochs N] [--folds N] [--seeds N]
  *                  [--graphs N] [--verbose]
+ *                  [--threads N]
  *                  [--allocator direct|caching]
  *                  [--stats-out FILE] [--events-out FILE]
  *                  [--roofline-out FILE] [--bench-out FILE]
@@ -16,6 +17,12 @@
  *
  * Both frameworks are always run and compared side by side, as in the
  * paper's tables. Flags accept both `--key value` and `--key=value`.
+ *
+ * --threads sets the host thread-pool width for every kernel (default:
+ * GNNPERF_THREADS, else hardware concurrency). `--threads 1` runs the
+ * exact historical serial path; any width is byte-identical on the
+ * deterministic kernels, so accuracy and logical-memory series match
+ * across thread counts.
  *
  * --allocator selects the device allocator for the process (default:
  * caching; GNNPERF_ALLOCATOR overrides the default). Logical peak
@@ -70,6 +77,7 @@
 #include "obs/roofline.hh"
 #include "obs/stats.hh"
 #include "obs/stats_export.hh"
+#include "parallel/thread_pool.hh"
 
 using namespace gnnperf;
 
@@ -173,6 +181,7 @@ writeBenchOutput(const std::string &path, const std::string &bench_name,
 {
     appendStatsSeries(series);
     appendAllocatorSeries(series);
+    appendParallelSeries(series);
     writeFile(path, diff::baselineToJson(bench_name, series));
     std::printf("wrote %s\n", path.c_str());
 }
@@ -214,6 +223,10 @@ main(int argc, char **argv)
     const std::string dataset_name =
         get(args, "dataset", task == "node" ? "cora" : "enzymes");
     const bool verbose = args.count("verbose") > 0;
+    const int64_t threads = getInt(args, "threads", 0);
+    if (threads > 0)
+        par::ThreadPool::instance().setNumThreads(
+            static_cast<int>(threads));
     const std::string allocator = get(args, "allocator", "");
     if (!allocator.empty()) {
         DeviceManager::instance().setAllocator(

@@ -15,6 +15,10 @@
  *   GNNPERF_LOG_TIME=1    — timestamp log lines
  *   GNNPERF_STATS=1       — enable stats sampling in the benches
  *                           (obs/stats.hh)
+ *   GNNPERF_THREADS=N     — host thread-pool width for every kernel
+ *                           (parallel/thread_pool.hh; default hardware
+ *                           concurrency, 1 = exact serial path;
+ *                           --threads on run_experiment wins)
  *   GNNPERF_TRACE=FILE|1  — record the merged execution trace
  *                           (obs/exec_trace.hh): FILE writes there;
  *                           1 writes <prefix>.trace.json into

@@ -9,6 +9,7 @@
 #include "device/trace_export.hh"
 #include "obs/stats.hh"
 #include "obs/stats_export.hh"
+#include "parallel/thread_pool.hh"
 
 namespace gnnperf {
 
@@ -292,6 +293,23 @@ appendAllocatorSeries(
                         static_cast<double>(s.peakBytes));
     series.emplace_back("alloc.cuda.reserved_peak",
                         static_cast<double>(s.reservedPeak));
+}
+
+void
+appendParallelSeries(
+    std::vector<std::pair<std::string, double>> &series)
+{
+    series.emplace_back(
+        "parallel.threads",
+        static_cast<double>(par::ThreadPool::instance().numThreads()));
+    // Launches and executed chunks are functions of the kernel shapes
+    // and the configured width, not of scheduling, so they diff clean
+    // at 0% tolerance (unlike steals/barrier waits, which stay out).
+    for (const auto &snap : stats::Registry::instance().snapshotAll()) {
+        if (snap.name == "parallel.launches" ||
+            snap.name == "parallel.tasks")
+            series.emplace_back(snap.name, snap.value);
+    }
 }
 
 void

@@ -78,6 +78,15 @@ void appendAllocatorSeries(
     std::vector<std::pair<std::string, double>> &series);
 
 /**
+ * Append the thread-pool series (configured width, launch and task
+ * counts) to a BENCH series list. Only deterministic counters: steals
+ * and barrier waits depend on scheduling and would not survive a
+ * 0%-tolerance diff of back-to-back runs.
+ */
+void appendParallelSeries(
+    std::vector<std::pair<std::string, double>> &series);
+
+/**
  * When GNNPERF_CSV_DIR is set and stats sampling is on, write the
  * registry's JSON snapshot (`<prefix>_stats.json`), per-epoch series
  * CSV (`<prefix>_stats_epochs.csv`) and run-event log

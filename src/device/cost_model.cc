@@ -7,6 +7,19 @@
 namespace gnnperf {
 
 double
+ParallelSpec::speedup(int threads) const
+{
+    if (threads <= 1)
+        return 1.0;
+    const double n = static_cast<double>(threads);
+    // Amdahl's law with a per-thread efficiency derate on the parallel
+    // portion, capped at the thread count itself.
+    const double s =
+        1.0 / (serialFraction + (1.0 - serialFraction) / (n * efficiency));
+    return std::min(s, n);
+}
+
+double
 CostModel::kernelTime(const KernelRecord &k) const
 {
     double compute = k.flops / gpu.flopsPerSec;

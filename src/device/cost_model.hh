@@ -56,6 +56,26 @@ struct GpuSpec
     std::size_t memoryCapacity = 11ull << 30;
 };
 
+/**
+ * Effective-parallelism parameters for host-side kernel execution on
+ * the src/parallel/ thread pool. A pool of N threads never yields an
+ * N× speedup: launches have a serial fraction (partition setup, the
+ * barrier, stragglers) and per-thread efficiency losses (shared memory
+ * bandwidth, stealing overhead). Amdahl with a flat efficiency derate
+ * keeps the roofline honest about what host parallelism buys.
+ */
+struct ParallelSpec
+{
+    /** Per-thread scaling efficiency once parallel (cache/bw sharing). */
+    double efficiency = 0.85;
+
+    /** Fraction of a launch that stays serial (setup + barrier). */
+    double serialFraction = 0.05;
+
+    /** Expected speedup of an N-thread launch over the serial path. */
+    double speedup(int threads) const;
+};
+
 /** Host-side rate parameters. */
 struct HostSpec
 {
@@ -89,6 +109,7 @@ class CostModel
   public:
     GpuSpec gpu;
     HostSpec host;
+    ParallelSpec parallel;
 
     /** On-GPU duration of a kernel (host dispatch NOT included). */
     double kernelTime(const KernelRecord &k) const;

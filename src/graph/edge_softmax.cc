@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "device/profiler.hh"
 #include "graph/workspace.hh"
+#include "parallel/thread_pool.hh"
 
 namespace gnnperf {
 namespace graphops {
@@ -23,44 +24,60 @@ edgeSoftmaxFused(const CsrIndex &in_index, const Tensor &logits)
     const float *pl = logits.data();
     float *pa = alpha.data();
     // Per-head maxima and denominators live in one pooled scratch
-    // block instead of two per-call vectors.
+    // block instead of two per-call vectors; every pool slot gets its
+    // own cacheline-padded slice so concurrent nodes cannot collide.
     static Workspace scratch;
-    float *mx = scratch.ensure(static_cast<std::size_t>(2 * h),
-                               logits.device());
-    float *denom = mx + h;
-    for (int64_t v = 0; v < in_index.numNodes(); ++v) {
-        const int64_t begin = in_index.ptr[v], end = in_index.ptr[v + 1];
-        if (begin == end)
-            continue;
-        for (int64_t hh = 0; hh < h; ++hh) {
-            mx[static_cast<std::size_t>(hh)] =
-                -std::numeric_limits<float>::infinity();
-            denom[static_cast<std::size_t>(hh)] = 0.0f;
-        }
-        for (int64_t k = begin; k < end; ++k) {
-            const int64_t e =
-                in_index.edgeId[static_cast<std::size_t>(k)];
-            for (int64_t hh = 0; hh < h; ++hh)
-                mx[static_cast<std::size_t>(hh)] = std::max(
-                    mx[static_cast<std::size_t>(hh)], pl[e * h + hh]);
-        }
-        for (int64_t k = begin; k < end; ++k) {
-            const int64_t e =
-                in_index.edgeId[static_cast<std::size_t>(k)];
-            for (int64_t hh = 0; hh < h; ++hh) {
-                const float ex = std::exp(
-                    pl[e * h + hh] - mx[static_cast<std::size_t>(hh)]);
-                pa[e * h + hh] = ex;
-                denom[static_cast<std::size_t>(hh)] += ex;
+    WorkspaceLease lease(scratch);
+    const int slots = par::ThreadPool::instance().numThreads();
+    float *base = scratch.ensureSlices(static_cast<std::size_t>(2 * h),
+                                       slots, logits.device());
+    const std::size_t stride = scratch.sliceStride();
+    // Destination nodes own disjoint edge sets in a CSR incidence
+    // index, so per-node chunks write disjoint alpha rows and the
+    // result is byte-identical at any thread count.
+    par::parallelFor(
+        "par.edge_softmax", 0, in_index.numNodes(), 64,
+        [&](int64_t vb, int64_t ve, int slot) {
+            float *mx = base + static_cast<std::size_t>(slot) * stride;
+            float *denom = mx + h;
+            for (int64_t v = vb; v < ve; ++v) {
+                const int64_t begin = in_index.ptr[v],
+                              end = in_index.ptr[v + 1];
+                if (begin == end)
+                    continue;
+                for (int64_t hh = 0; hh < h; ++hh) {
+                    mx[static_cast<std::size_t>(hh)] =
+                        -std::numeric_limits<float>::infinity();
+                    denom[static_cast<std::size_t>(hh)] = 0.0f;
+                }
+                for (int64_t k = begin; k < end; ++k) {
+                    const int64_t e =
+                        in_index.edgeId[static_cast<std::size_t>(k)];
+                    for (int64_t hh = 0; hh < h; ++hh)
+                        mx[static_cast<std::size_t>(hh)] =
+                            std::max(mx[static_cast<std::size_t>(hh)],
+                                     pl[e * h + hh]);
+                }
+                for (int64_t k = begin; k < end; ++k) {
+                    const int64_t e =
+                        in_index.edgeId[static_cast<std::size_t>(k)];
+                    for (int64_t hh = 0; hh < h; ++hh) {
+                        const float ex =
+                            std::exp(pl[e * h + hh] -
+                                     mx[static_cast<std::size_t>(hh)]);
+                        pa[e * h + hh] = ex;
+                        denom[static_cast<std::size_t>(hh)] += ex;
+                    }
+                }
+                for (int64_t k = begin; k < end; ++k) {
+                    const int64_t e =
+                        in_index.edgeId[static_cast<std::size_t>(k)];
+                    for (int64_t hh = 0; hh < h; ++hh)
+                        pa[e * h + hh] /=
+                            denom[static_cast<std::size_t>(hh)];
+                }
             }
-        }
-        for (int64_t k = begin; k < end; ++k) {
-            const int64_t e =
-                in_index.edgeId[static_cast<std::size_t>(k)];
-            for (int64_t hh = 0; hh < h; ++hh)
-                pa[e * h + hh] /= denom[static_cast<std::size_t>(hh)];
-        }
-    }
+        });
     recordKernel("edge_softmax",
                  5.0 * static_cast<double>(logits.numel()),
                  2.0 * static_cast<double>(logits.bytes()));
@@ -79,30 +96,40 @@ edgeSoftmaxBackwardFused(const CsrIndex &in_index, const Tensor &alpha,
     const float *pg = grad.data();
     float *po = out.data();
     static Workspace scratch;
-    float *acc =
-        scratch.ensure(static_cast<std::size_t>(h), alpha.device());
-    for (int64_t v = 0; v < in_index.numNodes(); ++v) {
-        const int64_t begin = in_index.ptr[v], end = in_index.ptr[v + 1];
-        if (begin == end)
-            continue;
-        for (int64_t hh = 0; hh < h; ++hh)
-            acc[static_cast<std::size_t>(hh)] = 0.0f;
-        for (int64_t k = begin; k < end; ++k) {
-            const int64_t e =
-                in_index.edgeId[static_cast<std::size_t>(k)];
-            for (int64_t hh = 0; hh < h; ++hh)
-                acc[static_cast<std::size_t>(hh)] +=
-                    pa[e * h + hh] * pg[e * h + hh];
-        }
-        for (int64_t k = begin; k < end; ++k) {
-            const int64_t e =
-                in_index.edgeId[static_cast<std::size_t>(k)];
-            for (int64_t hh = 0; hh < h; ++hh)
-                po[e * h + hh] =
-                    pa[e * h + hh] * (pg[e * h + hh] -
-                                      acc[static_cast<std::size_t>(hh)]);
-        }
-    }
+    WorkspaceLease lease(scratch);
+    const int slots = par::ThreadPool::instance().numThreads();
+    float *base = scratch.ensureSlices(static_cast<std::size_t>(h),
+                                       slots, alpha.device());
+    const std::size_t stride = scratch.sliceStride();
+    par::parallelFor(
+        "par.edge_softmax_bwd", 0, in_index.numNodes(), 64,
+        [&](int64_t vb, int64_t ve, int slot) {
+            float *acc = base + static_cast<std::size_t>(slot) * stride;
+            for (int64_t v = vb; v < ve; ++v) {
+                const int64_t begin = in_index.ptr[v],
+                              end = in_index.ptr[v + 1];
+                if (begin == end)
+                    continue;
+                for (int64_t hh = 0; hh < h; ++hh)
+                    acc[static_cast<std::size_t>(hh)] = 0.0f;
+                for (int64_t k = begin; k < end; ++k) {
+                    const int64_t e =
+                        in_index.edgeId[static_cast<std::size_t>(k)];
+                    for (int64_t hh = 0; hh < h; ++hh)
+                        acc[static_cast<std::size_t>(hh)] +=
+                            pa[e * h + hh] * pg[e * h + hh];
+                }
+                for (int64_t k = begin; k < end; ++k) {
+                    const int64_t e =
+                        in_index.edgeId[static_cast<std::size_t>(k)];
+                    for (int64_t hh = 0; hh < h; ++hh)
+                        po[e * h + hh] =
+                            pa[e * h + hh] *
+                            (pg[e * h + hh] -
+                             acc[static_cast<std::size_t>(hh)]);
+                }
+            }
+        });
     recordKernel("edge_softmax_bwd",
                  4.0 * static_cast<double>(alpha.numel()),
                  3.0 * static_cast<double>(alpha.bytes()));

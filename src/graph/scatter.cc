@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "device/profiler.hh"
 #include "obs/stats.hh"
+#include "parallel/thread_pool.hh"
 #include "tensor/ops.hh"
 
 namespace gnnperf {
@@ -60,24 +61,43 @@ scatterMaxRows(const Tensor &src, const std::vector<int64_t> &idx,
     argmax.assign(static_cast<std::size_t>(num_rows * f), -1);
     const float *ps = src.data();
     float *po = out.data();
-    for (std::size_t e = 0; e < idx.size(); ++e) {
-        const int64_t r = idx[e];
-        gnnperf_assert(r >= 0 && r < num_rows, "scatterMaxRows: index ",
-                       r, " out of ", num_rows);
-        const float *row = ps + static_cast<int64_t>(e) * f;
-        float *dst = po + r * f;
-        int64_t *arg = argmax.data() + r * f;
-        for (int64_t j = 0; j < f; ++j) {
-            if (row[j] > dst[j]) {
-                dst[j] = row[j];
-                arg[j] = static_cast<int64_t>(e);
+    int64_t *parg = argmax.data();
+    const int64_t ne = static_cast<int64_t>(idx.size());
+    for (std::size_t e = 0; e < idx.size(); ++e)
+        gnnperf_assert(idx[e] >= 0 && idx[e] < num_rows,
+                       "scatterMaxRows: index ", idx[e], " out of ",
+                       num_rows);
+    // Output-range partition: every chunk scans the full index vector
+    // in edge order but only writes rows inside its range, so the
+    // per-row update sequence — and therefore ties in the max — match
+    // the serial scan exactly. One chunk per thread (grainFor(.., 1)):
+    // each extra chunk re-reads the whole index vector.
+    par::parallelFor(
+        "par.scatter_max", 0, num_rows, par::grainFor(num_rows, 1),
+        [&](int64_t rb, int64_t re, int) {
+            for (int64_t e = 0; e < ne; ++e) {
+                const int64_t r = idx[static_cast<std::size_t>(e)];
+                if (r < rb || r >= re)
+                    continue;
+                const float *row = ps + e * f;
+                float *dst = po + r * f;
+                int64_t *arg = parg + r * f;
+                for (int64_t j = 0; j < f; ++j) {
+                    if (row[j] > dst[j]) {
+                        dst[j] = row[j];
+                        arg[j] = e;
+                    }
+                }
             }
-        }
-    }
+        });
     // Empty rows: replace -inf with 0.
-    for (int64_t i = 0; i < num_rows * f; ++i)
-        if (po[i] == -std::numeric_limits<float>::infinity())
-            po[i] = 0.0f;
+    par::parallelFor(
+        "par.scatter_max_fill", 0, num_rows * f, 16384,
+        [&](int64_t b, int64_t e2, int) {
+            for (int64_t i = b; i < e2; ++i)
+                if (po[i] == -std::numeric_limits<float>::infinity())
+                    po[i] = 0.0f;
+        });
     recordKernel("scatter_max", static_cast<double>(src.numel()),
                  2.0 * static_cast<double>(src.bytes()) +
                      static_cast<double>(out.bytes()));
@@ -96,6 +116,8 @@ scatterMaxBackward(const Tensor &grad, const std::vector<int64_t> &argmax,
     Tensor out = Tensor::zeros({num_src_rows, f}, grad.device());
     const float *pg = grad.data();
     float *po = out.data();
+    // Stays serial: parallelising this argmax scatter would re-scan the
+    // whole table per output range (see spmmCopyUMaxBackward).
     for (int64_t i = 0; i < grad.dim(0); ++i) {
         for (int64_t j = 0; j < f; ++j) {
             const int64_t e = argmax[static_cast<std::size_t>(i * f + j)];

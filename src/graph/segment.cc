@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "device/profiler.hh"
 #include "obs/stats.hh"
+#include "parallel/thread_pool.hh"
 
 namespace gnnperf {
 namespace graphops {
@@ -27,21 +28,29 @@ segmentReduce(const Tensor &x, const std::vector<int64_t> &ptr,
     Tensor out = Tensor::zeros({b, f}, x.device());
     const float *px = x.data();
     float *po = out.data();
-    for (int64_t g = 0; g < b; ++g) {
-        float *dst = po + g * f;
-        const int64_t begin = ptr[static_cast<std::size_t>(g)];
-        const int64_t end = ptr[static_cast<std::size_t>(g) + 1];
-        for (int64_t i = begin; i < end; ++i) {
-            const float *row = px + i * f;
-            for (int64_t j = 0; j < f; ++j)
-                dst[j] += row[j];
-        }
-        if (mean && end > begin) {
-            const float inv = 1.0f / static_cast<float>(end - begin);
-            for (int64_t j = 0; j < f; ++j)
-                dst[j] *= inv;
-        }
-    }
+    // Segment-parallel: each graph owns its output row. Graph sizes in
+    // a batch are power-law skewed, so a small grain leaves room for
+    // stealing.
+    par::parallelFor(
+        "par.segment_reduce", 0, b, 16,
+        [&](int64_t gb, int64_t ge, int) {
+            for (int64_t g = gb; g < ge; ++g) {
+                float *dst = po + g * f;
+                const int64_t begin = ptr[static_cast<std::size_t>(g)];
+                const int64_t end = ptr[static_cast<std::size_t>(g) + 1];
+                for (int64_t i = begin; i < end; ++i) {
+                    const float *row = px + i * f;
+                    for (int64_t j = 0; j < f; ++j)
+                        dst[j] += row[j];
+                }
+                if (mean && end > begin) {
+                    const float inv =
+                        1.0f / static_cast<float>(end - begin);
+                    for (int64_t j = 0; j < f; ++j)
+                        dst[j] *= inv;
+                }
+            }
+        });
     recordKernel(name, static_cast<double>(x.numel()),
                  static_cast<double>(x.bytes()) +
                      static_cast<double>(out.bytes()));
@@ -62,19 +71,25 @@ segmentBroadcast(const Tensor &grad, const std::vector<int64_t> &ptr,
     Tensor out = Tensor::zeros({n, f}, grad.device());
     const float *pg = grad.data();
     float *po = out.data();
-    for (int64_t g = 0; g < b; ++g) {
-        const int64_t begin = ptr[static_cast<std::size_t>(g)];
-        const int64_t end = ptr[static_cast<std::size_t>(g) + 1];
-        const float scale =
-            mean && end > begin
-                ? 1.0f / static_cast<float>(end - begin) : 1.0f;
-        const float *row = pg + g * f;
-        for (int64_t i = begin; i < end; ++i) {
-            float *dst = po + i * f;
-            for (int64_t j = 0; j < f; ++j)
-                dst[j] = row[j] * scale;
-        }
-    }
+    // Segments are disjoint node ranges, so per-graph chunks write
+    // disjoint output rows.
+    par::parallelFor(
+        "par.segment_bcast", 0, b, 16,
+        [&](int64_t gb, int64_t ge, int) {
+            for (int64_t g = gb; g < ge; ++g) {
+                const int64_t begin = ptr[static_cast<std::size_t>(g)];
+                const int64_t end = ptr[static_cast<std::size_t>(g) + 1];
+                const float scale =
+                    mean && end > begin
+                        ? 1.0f / static_cast<float>(end - begin) : 1.0f;
+                const float *row = pg + g * f;
+                for (int64_t i = begin; i < end; ++i) {
+                    float *dst = po + i * f;
+                    for (int64_t j = 0; j < f; ++j)
+                        dst[j] = row[j] * scale;
+                }
+            }
+        });
     recordKernel(name, static_cast<double>(out.numel()),
                  static_cast<double>(grad.bytes()) +
                      static_cast<double>(out.bytes()));

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "device/profiler.hh"
 #include "obs/stats.hh"
+#include "parallel/thread_pool.hh"
 
 namespace gnnperf {
 namespace graphops {
@@ -39,15 +40,22 @@ spmmCopyUSum(const CsrIndex &in_index, const Tensor &x)
     Tensor out = Tensor::zeros({n, f}, x.device());
     const float *px = x.data();
     float *po = out.data();
-    for (int64_t v = 0; v < n; ++v) {
-        float *dst = po + v * f;
-        for (int64_t k = in_index.ptr[v]; k < in_index.ptr[v + 1]; ++k) {
-            const float *row =
-                px + in_index.neighbor[static_cast<std::size_t>(k)] * f;
-            for (int64_t j = 0; j < f; ++j)
-                dst[j] += row[j];
-        }
-    }
+    // Row-parallel: each destination node owns its output row and its
+    // CSR neighbour order, so any thread count is byte-identical.
+    par::parallelFor(
+        "par.spmm_sum", 0, n, 32, [&](int64_t vb, int64_t ve, int) {
+            for (int64_t v = vb; v < ve; ++v) {
+                float *dst = po + v * f;
+                for (int64_t k = in_index.ptr[v]; k < in_index.ptr[v + 1];
+                     ++k) {
+                    const float *row =
+                        px +
+                        in_index.neighbor[static_cast<std::size_t>(k)] * f;
+                    for (int64_t j = 0; j < f; ++j)
+                        dst[j] += row[j];
+                }
+            }
+        });
     recordSpmm("gspmm_copy_u_sum", in_index.numEdges(), f, n, 1.0);
     return out;
 }
@@ -61,21 +69,27 @@ spmmCopyUMean(const CsrIndex &in_index, const Tensor &x)
     Tensor out = Tensor::zeros({n, f}, x.device());
     const float *px = x.data();
     float *po = out.data();
-    for (int64_t v = 0; v < n; ++v) {
-        float *dst = po + v * f;
-        const int64_t begin = in_index.ptr[v], end = in_index.ptr[v + 1];
-        for (int64_t k = begin; k < end; ++k) {
-            const float *row =
-                px + in_index.neighbor[static_cast<std::size_t>(k)] * f;
-            for (int64_t j = 0; j < f; ++j)
-                dst[j] += row[j];
-        }
-        if (end > begin) {
-            const float inv = 1.0f / static_cast<float>(end - begin);
-            for (int64_t j = 0; j < f; ++j)
-                dst[j] *= inv;
-        }
-    }
+    par::parallelFor(
+        "par.spmm_mean", 0, n, 32, [&](int64_t vb, int64_t ve, int) {
+            for (int64_t v = vb; v < ve; ++v) {
+                float *dst = po + v * f;
+                const int64_t begin = in_index.ptr[v],
+                              end = in_index.ptr[v + 1];
+                for (int64_t k = begin; k < end; ++k) {
+                    const float *row =
+                        px +
+                        in_index.neighbor[static_cast<std::size_t>(k)] * f;
+                    for (int64_t j = 0; j < f; ++j)
+                        dst[j] += row[j];
+                }
+                if (end > begin) {
+                    const float inv =
+                        1.0f / static_cast<float>(end - begin);
+                    for (int64_t j = 0; j < f; ++j)
+                        dst[j] *= inv;
+                }
+            }
+        });
     recordSpmm("gspmm_copy_u_mean", in_index.numEdges(), f, n, 1.0);
     return out;
 }
@@ -91,26 +105,31 @@ spmmCopyUMax(const CsrIndex &in_index, const Tensor &x,
     arg_src.assign(static_cast<std::size_t>(n * f), -1);
     const float *px = x.data();
     float *po = out.data();
-    for (int64_t v = 0; v < n; ++v) {
-        float *dst = po + v * f;
-        int64_t *arg = arg_src.data() + v * f;
-        const int64_t begin = in_index.ptr[v], end = in_index.ptr[v + 1];
-        if (begin == end)
-            continue;
-        for (int64_t j = 0; j < f; ++j)
-            dst[j] = -std::numeric_limits<float>::infinity();
-        for (int64_t k = begin; k < end; ++k) {
-            const int64_t u =
-                in_index.neighbor[static_cast<std::size_t>(k)];
-            const float *row = px + u * f;
-            for (int64_t j = 0; j < f; ++j) {
-                if (row[j] > dst[j]) {
-                    dst[j] = row[j];
-                    arg[j] = u;
+    int64_t *parg = arg_src.data();
+    par::parallelFor(
+        "par.spmm_max", 0, n, 32, [&](int64_t vb, int64_t ve, int) {
+            for (int64_t v = vb; v < ve; ++v) {
+                float *dst = po + v * f;
+                int64_t *arg = parg + v * f;
+                const int64_t begin = in_index.ptr[v],
+                              end = in_index.ptr[v + 1];
+                if (begin == end)
+                    continue;
+                for (int64_t j = 0; j < f; ++j)
+                    dst[j] = -std::numeric_limits<float>::infinity();
+                for (int64_t k = begin; k < end; ++k) {
+                    const int64_t u =
+                        in_index.neighbor[static_cast<std::size_t>(k)];
+                    const float *row = px + u * f;
+                    for (int64_t j = 0; j < f; ++j) {
+                        if (row[j] > dst[j]) {
+                            dst[j] = row[j];
+                            arg[j] = u;
+                        }
+                    }
                 }
             }
-        }
-    }
+        });
     recordSpmm("gspmm_copy_u_max", in_index.numEdges(), f, n, 1.0);
     return out;
 }
@@ -126,6 +145,9 @@ spmmCopyUMaxBackward(const Tensor &grad,
     Tensor out = Tensor::zeros({num_src_rows, f}, grad.device());
     const float *pg = grad.data();
     float *po = out.data();
+    // Stays serial: the argmax scatter writes arbitrary source rows, so
+    // a race-free parallel version would re-scan the whole argmax table
+    // per output range — all cost, no speedup at these sizes.
     for (int64_t i = 0; i < n; ++i) {
         for (int64_t j = 0; j < f; ++j) {
             const int64_t u = arg_src[static_cast<std::size_t>(i * f + j)];
@@ -160,23 +182,27 @@ spmmUMulESum(const CsrIndex &in_index, const Tensor &x, const Tensor &w,
     const float *px = x.data();
     const float *pw = w.data();
     float *po = out.data();
-    for (int64_t v = 0; v < n; ++v) {
-        float *dst = po + v * f;
-        for (int64_t k = in_index.ptr[v]; k < in_index.ptr[v + 1]; ++k) {
-            const int64_t u =
-                in_index.neighbor[static_cast<std::size_t>(k)];
-            const int64_t e =
-                in_index.edgeId[static_cast<std::size_t>(k)];
-            const float *row = px + u * f;
-            const float *we = pw + e * heads;
-            for (int64_t h = 0; h < heads; ++h) {
-                const float s = we[h];
-                const int64_t base = h * d;
-                for (int64_t j = 0; j < d; ++j)
-                    dst[base + j] += s * row[base + j];
+    par::parallelFor(
+        "par.spmm_u_mul_e", 0, n, 32, [&](int64_t vb, int64_t ve, int) {
+            for (int64_t v = vb; v < ve; ++v) {
+                float *dst = po + v * f;
+                for (int64_t k = in_index.ptr[v]; k < in_index.ptr[v + 1];
+                     ++k) {
+                    const int64_t u =
+                        in_index.neighbor[static_cast<std::size_t>(k)];
+                    const int64_t e =
+                        in_index.edgeId[static_cast<std::size_t>(k)];
+                    const float *row = px + u * f;
+                    const float *we = pw + e * heads;
+                    for (int64_t h = 0; h < heads; ++h) {
+                        const float s = we[h];
+                        const int64_t base = h * d;
+                        for (int64_t j = 0; j < d; ++j)
+                            dst[base + j] += s * row[base + j];
+                    }
+                }
             }
-        }
-    }
+        });
     recordSpmm("gspmm_u_mul_e_sum", in_index.numEdges(), f, n, 2.0);
     return out;
 }
@@ -202,17 +228,23 @@ sddmmDotUV(const std::vector<int64_t> &src,
     const float *pa = a.data();
     const float *pb = b.data();
     float *po = out.data();
-    for (int64_t i = 0; i < e; ++i) {
-        const float *ra = pa + src[static_cast<std::size_t>(i)] * f;
-        const float *rb = pb + dst[static_cast<std::size_t>(i)] * f;
-        for (int64_t h = 0; h < heads; ++h) {
-            float s = 0.0f;
-            const int64_t base = h * d;
-            for (int64_t j = 0; j < d; ++j)
-                s += ra[base + j] * rb[base + j];
-            po[i * heads + h] = s;
-        }
-    }
+    // Edge-parallel: each edge owns its output element.
+    par::parallelFor(
+        "par.sddmm_dot", 0, e, 128, [&](int64_t eb, int64_t ee, int) {
+            for (int64_t i = eb; i < ee; ++i) {
+                const float *ra =
+                    pa + src[static_cast<std::size_t>(i)] * f;
+                const float *rb =
+                    pb + dst[static_cast<std::size_t>(i)] * f;
+                for (int64_t h = 0; h < heads; ++h) {
+                    float s = 0.0f;
+                    const int64_t base = h * d;
+                    for (int64_t j = 0; j < d; ++j)
+                        s += ra[base + j] * rb[base + j];
+                    po[i * heads + h] = s;
+                }
+            }
+        });
     recordKernel("gsddmm_dot_uv", 2.0 * static_cast<double>(e * f),
                  2.0 * static_cast<double>(e * f) * sizeof(float) +
                      static_cast<double>(out.bytes()));

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/logging.hh"
 #include "device/allocator.hh"
+#include "parallel/thread_pool.hh"
 
 namespace gnnperf {
 
@@ -27,6 +29,10 @@ Workspace::releaseBlock()
 float *
 Workspace::ensure(std::size_t count, DeviceKind device)
 {
+    // The device allocators are single-threaded by design; scratch must
+    // be acquired before the parallel launch, never from a worker.
+    gnnperf_assert(!par::ThreadPool::inParallelRegion(),
+                   "Workspace::ensure inside a parallel region");
     if (block_ == nullptr || capacity_ < count || device != device_) {
         releaseBlock();
         device_ = device;
@@ -39,6 +45,36 @@ Workspace::ensure(std::size_t count, DeviceKind device)
     float *p = block_->floats();
     std::memset(p, 0, count * sizeof(float));
     return p;
+}
+
+float *
+Workspace::ensureSlices(std::size_t count_per_slice, int slices,
+                        DeviceKind device)
+{
+    gnnperf_assert(slices >= 1, "ensureSlices needs >= 1 slice");
+    // Pad each slice to a 64-byte multiple so two slots never write the
+    // same cacheline.
+    constexpr std::size_t kPad = 64 / sizeof(float);
+    const std::size_t stride = (count_per_slice + kPad - 1) / kPad * kPad;
+    float *p =
+        ensure(stride * static_cast<std::size_t>(slices), device);
+    sliceStride_ = stride;
+    return p;
+}
+
+void
+Workspace::beginUse()
+{
+    const bool was = inUse_.exchange(true, std::memory_order_acq_rel);
+    gnnperf_assert(!was,
+                   "Workspace checked out twice: two kernels are racing "
+                   "on one static scratch buffer");
+}
+
+void
+Workspace::endUse()
+{
+    inUse_.store(false, std::memory_order_release);
 }
 
 } // namespace gnnperf

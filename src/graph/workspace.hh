@@ -8,11 +8,20 @@
  * block from the device's active allocator and grows it geometrically,
  * so repeated launches with the same shapes hit the allocator cache
  * (or, for a long-lived workspace, reuse the very same block).
+ *
+ * Parallel kernels (src/parallel/) must not share one scratch buffer
+ * across worker threads. ensureSlices() hands out one cacheline-padded
+ * slice per pool slot, acquired in a single allocator call *before*
+ * the parallel launch (the device allocator is not thread-safe, and
+ * ensure() asserts it is never entered from inside a parallel region).
+ * A WorkspaceLease additionally catches two kernels checking out the
+ * same static workspace concurrently.
  */
 
 #ifndef GNNPERF_GRAPH_WORKSPACE_HH
 #define GNNPERF_GRAPH_WORKSPACE_HH
 
+#include <atomic>
 #include <cstddef>
 
 #include "device/device.hh"
@@ -34,18 +43,55 @@ class Workspace
     /**
      * A buffer holding at least `count` floats on `device`, zeroed up
      * to `count`. Grows geometrically; the pointer is stable until the
-     * next ensure() call.
+     * next ensure() call. Must be called outside parallel regions.
      */
     float *ensure(std::size_t count, DeviceKind device);
 
+    /**
+     * One zeroed slice of at least `count_per_slice` floats for each
+     * of `slices` pool slots, from a single allocator acquisition.
+     * Slices are padded to a 64-byte multiple so concurrent writers
+     * never share a cacheline; slice i starts at the returned pointer
+     * + i * sliceStride().
+     */
+    float *ensureSlices(std::size_t count_per_slice, int slices,
+                        DeviceKind device);
+
+    /** Floats between consecutive slices of the last ensureSlices(). */
+    std::size_t sliceStride() const { return sliceStride_; }
+
     std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Debug lease: mark the workspace checked out / returned. A second
+     * checkout while one is live — two kernels racing on one static
+     * scratch buffer — trips an assertion. Use via WorkspaceLease.
+     */
+    void beginUse();
+    void endUse();
 
   private:
     void releaseBlock();
 
     MemoryBlock *block_ = nullptr;
     std::size_t capacity_ = 0; ///< floats
+    std::size_t sliceStride_ = 0;
     DeviceKind device_;
+    std::atomic<bool> inUse_{false};
+};
+
+/** RAII exclusive-use guard over a (typically static) Workspace. */
+class WorkspaceLease
+{
+  public:
+    explicit WorkspaceLease(Workspace &ws) : ws_(ws) { ws_.beginUse(); }
+    ~WorkspaceLease() { ws_.endUse(); }
+
+    WorkspaceLease(const WorkspaceLease &) = delete;
+    WorkspaceLease &operator=(const WorkspaceLease &) = delete;
+
+  private:
+    Workspace &ws_;
 };
 
 } // namespace gnnperf

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "parallel/thread_pool.hh"
 
 namespace gnnperf {
 namespace nn {
@@ -43,16 +44,20 @@ Adam::step()
         float *pm = m_[i].data();
         float *ps = v_[i].data();
         const int64_t numel = value.numel();
-        for (int64_t j = 0; j < numel; ++j) {
-            float g = pg[j];
-            if (weightDecay_ != 0.0f)
-                g += weightDecay_ * pv[j];
-            pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * g;
-            ps[j] = beta2_ * ps[j] + (1.0f - beta2_) * g * g;
-            const float mhat = pm[j] / bc1;
-            const float vhat = ps[j] / bc2;
-            pv[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-        }
+        par::parallelFor(
+            "par.adam_update", 0, numel, 16384,
+            [&](int64_t jb, int64_t je, int) {
+                for (int64_t j = jb; j < je; ++j) {
+                    float g = pg[j];
+                    if (weightDecay_ != 0.0f)
+                        g += weightDecay_ * pv[j];
+                    pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * g;
+                    ps[j] = beta2_ * ps[j] + (1.0f - beta2_) * g * g;
+                    const float mhat = pm[j] / bc1;
+                    const float vhat = ps[j] / bc2;
+                    pv[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+                }
+            });
         recordKernel("adam_update", 10.0 * static_cast<double>(numel),
                      4.0 * static_cast<double>(value.bytes()));
     }

@@ -5,6 +5,7 @@
 
 #include "common/string_utils.hh"
 #include "common/table.hh"
+#include "parallel/thread_pool.hh"
 
 namespace gnnperf {
 
@@ -186,6 +187,8 @@ RooflineAnalyzer::report() const
     r.elapsed = elapsed_;
     r.gpuBusy = gpuBusy_;
     r.hostBusy = hostBusy_;
+    r.hostThreads = par::ThreadPool::instance().numThreads();
+    r.hostParallelSpeedup = model_.parallel.speedup(r.hostThreads);
     r.total = total_;
     for (const auto &[name, g] : byKernel_)
         r.byKernel.push_back(g);
@@ -282,6 +285,10 @@ rooflineReportToJson(const RooflineReport &r)
         num(r.ridgeIntensity()).c_str(),
         num(r.dispatchOverhead).c_str());
     out += strprintf(
+        "  \"host_parallelism\": {\"threads\": %d, "
+        "\"model_speedup\": %s},\n",
+        r.hostThreads, num(r.hostParallelSpeedup).c_str());
+    out += strprintf(
         "  \"elapsed_s\": %s, \"gpu_busy_s\": %s, "
         "\"host_busy_s\": %s,\n",
         num(r.elapsed).c_str(), num(r.gpuBusy).c_str(),
@@ -350,7 +357,7 @@ renderRooflineTable(const std::vector<RooflineReport> &suite)
     TextTable table;
     table.setHeader({"Config", ">Elapsed(ms)", ">Util%", ">AI(F/B)",
                      ">Peak-F%", ">Peak-BW%", ">Comp%", ">BW%",
-                     ">Disp%", ">Kernels"});
+                     ">Disp%", ">Kernels", ">HostThr", ">HostSpd"});
     for (const auto &r : suite) {
         table.addRow(
             {r.label, strprintf("%.2f", r.elapsed * 1e3),
@@ -366,7 +373,9 @@ renderRooflineTable(const std::vector<RooflineReport> &suite)
              strprintf("%.1f",
                        r.total.boundShare(BoundClass::Dispatch) *
                            100.0),
-             strprintf("%zu", r.total.launches)});
+             strprintf("%zu", r.total.launches),
+             strprintf("%d", r.hostThreads),
+             strprintf("%.2fx", r.hostParallelSpeedup)});
     }
     return table.render();
 }

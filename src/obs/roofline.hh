@@ -119,6 +119,13 @@ struct RooflineReport
     double gpuBusy = 0.0;
     double hostBusy = 0.0;
 
+    // Host-side effective parallelism: the pool width the run executed
+    // with and the speedup the cost model credits that width with
+    // (ParallelSpec::speedup). Keeps roofline claims honest about what
+    // the host threads can actually deliver.
+    int hostThreads = 1;
+    double hostParallelSpeedup = 1.0;
+
     RooflineGroup total;       ///< all kernels together
     std::vector<RooflineGroup> byKernel;  ///< per kernel name
     std::vector<RooflineGroup> byLayer;   ///< per layer scope

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "parallel/thread_pool.hh"
 
 namespace gnnperf {
 namespace ops {
@@ -30,17 +31,22 @@ matmul(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    for (int64_t i = 0; i < n; ++i) {
-        float *crow = pc + i * m;
-        for (int64_t kk = 0; kk < k; ++kk) {
-            const float aik = pa[i * k + kk];
-            if (aik == 0.0f)
-                continue;
-            const float *brow = pb + kk * m;
-            for (int64_t j = 0; j < m; ++j)
-                crow[j] += aik * brow[j];
-        }
-    }
+    // Output-row parallel: each C row is accumulated by one chunk in
+    // the same kk order as the serial loop.
+    par::parallelFor(
+        "par.sgemm", 0, n, 16, [&](int64_t ib, int64_t ie, int) {
+            for (int64_t i = ib; i < ie; ++i) {
+                float *crow = pc + i * m;
+                for (int64_t kk = 0; kk < k; ++kk) {
+                    const float aik = pa[i * k + kk];
+                    if (aik == 0.0f)
+                        continue;
+                    const float *brow = pb + kk * m;
+                    for (int64_t j = 0; j < m; ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
+        });
     recordGemm("sgemm", n, k, m);
     return c;
 }
@@ -56,19 +62,26 @@ matmulTransA(const Tensor &a, const Tensor &b)
     const float *pb = b.data();
     float *pc = c.data();
     // C[kk, j] = sum_i A[i, kk] * B[i, j]: accumulate row-wise so the
-    // inner loop stays unit-stride on both B and C.
-    for (int64_t i = 0; i < n; ++i) {
-        const float *arow = pa + i * k;
-        const float *brow = pb + i * m;
-        for (int64_t kk = 0; kk < k; ++kk) {
-            const float aik = arow[kk];
-            if (aik == 0.0f)
-                continue;
-            float *crow = pc + kk * m;
-            for (int64_t j = 0; j < m; ++j)
-                crow[j] += aik * brow[j];
-        }
-    }
+    // inner loop stays unit-stride on both B and C. Parallelised over
+    // output-row (kk) ranges — each chunk runs the full i loop but only
+    // touches its C rows, so per-element accumulation order matches the
+    // serial scan. One chunk per thread: every chunk re-reads A and B.
+    par::parallelFor(
+        "par.sgemm_tn", 0, k, par::grainFor(k, 1),
+        [&](int64_t kb, int64_t ke, int) {
+            for (int64_t i = 0; i < n; ++i) {
+                const float *arow = pa + i * k;
+                const float *brow = pb + i * m;
+                for (int64_t kk = kb; kk < ke; ++kk) {
+                    const float aik = arow[kk];
+                    if (aik == 0.0f)
+                        continue;
+                    float *crow = pc + kk * m;
+                    for (int64_t j = 0; j < m; ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
+        });
     recordGemm("sgemm_tn", k, n, m);
     return c;
 }
@@ -85,17 +98,20 @@ matmulTransB(const Tensor &a, const Tensor &b)
     const float *pb = b.data();
     float *pc = c.data();
     // C[i, kk] = dot(A[i, :], B[kk, :]) — both unit stride.
-    for (int64_t i = 0; i < n; ++i) {
-        const float *arow = pa + i * m;
-        float *crow = pc + i * k;
-        for (int64_t kk = 0; kk < k; ++kk) {
-            const float *brow = pb + kk * m;
-            float s = 0.0f;
-            for (int64_t j = 0; j < m; ++j)
-                s += arow[j] * brow[j];
-            crow[kk] = s;
-        }
-    }
+    par::parallelFor(
+        "par.sgemm_nt", 0, n, 16, [&](int64_t ib, int64_t ie, int) {
+            for (int64_t i = ib; i < ie; ++i) {
+                const float *arow = pa + i * m;
+                float *crow = pc + i * k;
+                for (int64_t kk = 0; kk < k; ++kk) {
+                    const float *brow = pb + kk * m;
+                    float s = 0.0f;
+                    for (int64_t j = 0; j < m; ++j)
+                        s += arow[j] * brow[j];
+                    crow[kk] = s;
+                }
+            }
+        });
     recordGemm("sgemm_nt", n, m, k);
     return c;
 }

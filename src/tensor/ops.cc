@@ -8,11 +8,15 @@
 #include "common/random.hh"
 #include "device/profiler.hh"
 #include "obs/stats.hh"
+#include "parallel/thread_pool.hh"
 
 namespace gnnperf {
 namespace ops {
 
 namespace {
+
+/** Elementwise grain: chunks below this are cheaper run inline. */
+constexpr int64_t kElemGrain = 16384;
 
 /** Emit a kernel record for an elementwise op over n elements. */
 void
@@ -22,6 +26,13 @@ recordElementwise(const char *name, int64_t n, double flops_per_elem,
     recordKernel(name, flops_per_elem * static_cast<double>(n),
                  tensors_touched * static_cast<double>(n) *
                      sizeof(float));
+}
+
+/** Rows per chunk targeting ~kElemGrain elements for f-wide rows. */
+int64_t
+rowGrain(int64_t f)
+{
+    return std::max<int64_t>(1, kElemGrain / std::max<int64_t>(f, 1));
 }
 
 void
@@ -41,8 +52,12 @@ binaryOp(const Tensor &a, const Tensor &b, const char *name, F f)
     const float *pb = b.data();
     float *po = out.data();
     const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        po[i] = f(pa[i], pb[i]);
+    // Elementwise: disjoint output ranges, trivially deterministic.
+    par::parallelFor("par.binary_op", 0, n, kElemGrain,
+                     [&](int64_t b2, int64_t e2, int) {
+                         for (int64_t i = b2; i < e2; ++i)
+                             po[i] = f(pa[i], pb[i]);
+                     });
     recordElementwise(name, n, 1.0, 3.0);
     return out;
 }
@@ -55,8 +70,11 @@ unaryOp(const Tensor &a, const char *name, F f, double flops = 1.0)
     const float *pa = a.data();
     float *po = out.data();
     const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        po[i] = f(pa[i]);
+    par::parallelFor("par.unary_op", 0, n, kElemGrain,
+                     [&](int64_t b, int64_t e, int) {
+                         for (int64_t i = b; i < e; ++i)
+                             po[i] = f(pa[i]);
+                     });
     recordElementwise(name, n, flops, 2.0);
     return out;
 }
@@ -98,9 +116,12 @@ addRows(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i)
-        for (int64_t j = 0; j < f; ++j)
-            po[i * f + j] = pa[i * f + j] + pb[j];
+    par::parallelFor("par.add_bias", 0, n, rowGrain(f),
+                     [&](int64_t ib, int64_t ie, int) {
+                         for (int64_t i = ib; i < ie; ++i)
+                             for (int64_t j = 0; j < f; ++j)
+                                 po[i * f + j] = pa[i * f + j] + pb[j];
+                     });
     recordElementwise("add_bias", n * f, 1.0, 2.0);
     return out;
 }
@@ -116,11 +137,14 @@ mulCols(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        const float s = pb[i];
-        for (int64_t j = 0; j < f; ++j)
-            po[i * f + j] = pa[i * f + j] * s;
-    }
+    par::parallelFor("par.mul_cols", 0, n, rowGrain(f),
+                     [&](int64_t ib, int64_t ie, int) {
+                         for (int64_t i = ib; i < ie; ++i) {
+                             const float s = pb[i];
+                             for (int64_t j = 0; j < f; ++j)
+                                 po[i * f + j] = pa[i * f + j] * s;
+                         }
+                     });
     recordElementwise("mul_cols", n * f, 1.0, 2.0);
     return out;
 }
@@ -136,11 +160,14 @@ divCols(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        const float s = 1.0f / pb[i];
-        for (int64_t j = 0; j < f; ++j)
-            po[i * f + j] = pa[i * f + j] * s;
-    }
+    par::parallelFor("par.div_cols", 0, n, rowGrain(f),
+                     [&](int64_t ib, int64_t ie, int) {
+                         for (int64_t i = ib; i < ie; ++i) {
+                             const float s = 1.0f / pb[i];
+                             for (int64_t j = 0; j < f; ++j)
+                                 po[i * f + j] = pa[i * f + j] * s;
+                         }
+                     });
     recordElementwise("div_cols", n * f, 1.0, 2.0);
     return out;
 }
@@ -152,8 +179,11 @@ addInPlace(Tensor &a, const Tensor &b)
     float *pa = a.data();
     const float *pb = b.data();
     const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        pa[i] += pb[i];
+    par::parallelFor("par.add_inplace", 0, n, kElemGrain,
+                     [&](int64_t b2, int64_t e2, int) {
+                         for (int64_t i = b2; i < e2; ++i)
+                             pa[i] += pb[i];
+                     });
     recordElementwise("add_", n, 1.0, 3.0);
 }
 
@@ -164,8 +194,11 @@ addScaledInPlace(Tensor &a, const Tensor &b, float s)
     float *pa = a.data();
     const float *pb = b.data();
     const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i)
-        pa[i] += s * pb[i];
+    par::parallelFor("par.axpy", 0, n, kElemGrain,
+                     [&](int64_t b2, int64_t e2, int) {
+                         for (int64_t i = b2; i < e2; ++i)
+                             pa[i] += s * pb[i];
+                     });
     recordElementwise("axpy_", n, 2.0, 3.0);
 }
 
@@ -257,9 +290,16 @@ sumRows(const Tensor &a)
     Tensor out = Tensor::zeros({f}, a.device());
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i)
-        for (int64_t j = 0; j < f; ++j)
-            po[j] += pa[i * f + j];
+    // Column partition: each chunk owns a column range and accumulates
+    // it over all rows in unchanged i order — byte-identical to the
+    // serial scan. One chunk per thread (every chunk reads all rows).
+    par::parallelFor(
+        "par.col_sum", 0, f, par::grainFor(f, 1),
+        [&](int64_t jb, int64_t je, int) {
+            for (int64_t i = 0; i < n; ++i)
+                for (int64_t j = jb; j < je; ++j)
+                    po[j] += pa[i * f + j];
+        });
     recordKernel("col_sum", static_cast<double>(n * f),
                  static_cast<double>((n * f + f) * sizeof(float)));
     return out;
@@ -286,15 +326,21 @@ varRows(const Tensor &a, const Tensor &mean)
     const float *pa = a.data();
     const float *pm = mean.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t j = 0; j < f; ++j) {
-            float d = pa[i * f + j] - pm[j];
-            po[j] += d * d;
-        }
-    }
     const float inv = n > 0 ? 1.0f / n : 0.0f;
-    for (int64_t j = 0; j < f; ++j)
-        po[j] *= inv;
+    // Column partition, like sumRows; the final scale is per-column so
+    // it can live inside the chunk without reordering any accumulation.
+    par::parallelFor(
+        "par.col_var", 0, f, par::grainFor(f, 1),
+        [&](int64_t jb, int64_t je, int) {
+            for (int64_t i = 0; i < n; ++i) {
+                for (int64_t j = jb; j < je; ++j) {
+                    float d = pa[i * f + j] - pm[j];
+                    po[j] += d * d;
+                }
+            }
+            for (int64_t j = jb; j < je; ++j)
+                po[j] *= inv;
+        });
     recordKernel("col_var", 3.0 * static_cast<double>(n * f),
                  static_cast<double>((n * f + 2 * f) * sizeof(float)));
     return out;
@@ -308,12 +354,15 @@ sumCols(const Tensor &a)
     Tensor out = Tensor::zeros({n}, a.device());
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        float s = 0.0f;
-        for (int64_t j = 0; j < f; ++j)
-            s += pa[i * f + j];
-        po[i] = s;
-    }
+    par::parallelFor("par.row_sum", 0, n, rowGrain(f),
+                     [&](int64_t ib, int64_t ie, int) {
+                         for (int64_t i = ib; i < ie; ++i) {
+                             float s = 0.0f;
+                             for (int64_t j = 0; j < f; ++j)
+                                 s += pa[i * f + j];
+                             po[i] = s;
+                         }
+                     });
     recordKernel("row_sum", static_cast<double>(n * f),
                  static_cast<double>((n * f + n) * sizeof(float)));
     return out;
@@ -347,17 +396,22 @@ argmaxRows(const Tensor &a)
     const int64_t n = a.dim(0), f = a.dim(1);
     std::vector<int64_t> out(static_cast<std::size_t>(n));
     const float *pa = a.data();
-    for (int64_t i = 0; i < n; ++i) {
-        int64_t best = 0;
-        float bestv = pa[i * f];
-        for (int64_t j = 1; j < f; ++j) {
-            if (pa[i * f + j] > bestv) {
-                bestv = pa[i * f + j];
-                best = j;
+    int64_t *po = out.data();
+    par::parallelFor(
+        "par.argmax", 0, n, rowGrain(f),
+        [&](int64_t ib, int64_t ie, int) {
+            for (int64_t i = ib; i < ie; ++i) {
+                int64_t best = 0;
+                float bestv = pa[i * f];
+                for (int64_t j = 1; j < f; ++j) {
+                    if (pa[i * f + j] > bestv) {
+                        bestv = pa[i * f + j];
+                        best = j;
+                    }
+                }
+                po[i] = best;
             }
-        }
-        out[static_cast<std::size_t>(i)] = best;
-    }
+        });
     recordKernel("argmax", static_cast<double>(n * f),
                  static_cast<double>(a.bytes()));
     return out;
@@ -371,20 +425,24 @@ softmaxRows(const Tensor &a)
     Tensor out(a.shape(), a.device());
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        float mx = pa[i * f];
-        for (int64_t j = 1; j < f; ++j)
-            mx = std::max(mx, pa[i * f + j]);
-        float denom = 0.0f;
-        for (int64_t j = 0; j < f; ++j) {
-            float e = std::exp(pa[i * f + j] - mx);
-            po[i * f + j] = e;
-            denom += e;
-        }
-        const float inv = 1.0f / denom;
-        for (int64_t j = 0; j < f; ++j)
-            po[i * f + j] *= inv;
-    }
+    par::parallelFor(
+        "par.softmax", 0, n, rowGrain(f),
+        [&](int64_t ib, int64_t ie, int) {
+            for (int64_t i = ib; i < ie; ++i) {
+                float mx = pa[i * f];
+                for (int64_t j = 1; j < f; ++j)
+                    mx = std::max(mx, pa[i * f + j]);
+                float denom = 0.0f;
+                for (int64_t j = 0; j < f; ++j) {
+                    float e = std::exp(pa[i * f + j] - mx);
+                    po[i * f + j] = e;
+                    denom += e;
+                }
+                const float inv = 1.0f / denom;
+                for (int64_t j = 0; j < f; ++j)
+                    po[i * f + j] *= inv;
+            }
+        });
     recordKernel("softmax", 5.0 * static_cast<double>(n * f),
                  2.0 * static_cast<double>(a.bytes()));
     return out;
@@ -398,17 +456,21 @@ logSoftmaxRows(const Tensor &a)
     Tensor out(a.shape(), a.device());
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        float mx = pa[i * f];
-        for (int64_t j = 1; j < f; ++j)
-            mx = std::max(mx, pa[i * f + j]);
-        float denom = 0.0f;
-        for (int64_t j = 0; j < f; ++j)
-            denom += std::exp(pa[i * f + j] - mx);
-        const float lse = std::log(denom) + mx;
-        for (int64_t j = 0; j < f; ++j)
-            po[i * f + j] = pa[i * f + j] - lse;
-    }
+    par::parallelFor(
+        "par.log_softmax", 0, n, rowGrain(f),
+        [&](int64_t ib, int64_t ie, int) {
+            for (int64_t i = ib; i < ie; ++i) {
+                float mx = pa[i * f];
+                for (int64_t j = 1; j < f; ++j)
+                    mx = std::max(mx, pa[i * f + j]);
+                float denom = 0.0f;
+                for (int64_t j = 0; j < f; ++j)
+                    denom += std::exp(pa[i * f + j] - mx);
+                const float lse = std::log(denom) + mx;
+                for (int64_t j = 0; j < f; ++j)
+                    po[i * f + j] = pa[i * f + j] - lse;
+            }
+        });
     recordKernel("log_softmax", 5.0 * static_cast<double>(n * f),
                  2.0 * static_cast<double>(a.bytes()));
     return out;
@@ -493,13 +555,20 @@ gatherRows(const Tensor &a, const std::vector<int64_t> &idx)
     Tensor out({e, f}, a.device());
     const float *pa = a.data();
     float *po = out.data();
+    // Validate up front so workers never panic off the main thread.
     for (int64_t i = 0; i < e; ++i) {
         const int64_t r = idx[static_cast<std::size_t>(i)];
         gnnperf_assert(r >= 0 && r < a.dim(0), "gatherRows: index ", r,
                        " out of ", a.dim(0));
-        std::memcpy(po + i * f, pa + r * f,
-                    static_cast<std::size_t>(f) * sizeof(float));
     }
+    par::parallelFor(
+        "par.gather_rows", 0, e, rowGrain(f),
+        [&](int64_t ib, int64_t ie, int) {
+            for (int64_t i = ib; i < ie; ++i)
+                std::memcpy(po + i * f,
+                            pa + idx[static_cast<std::size_t>(i)] * f,
+                            static_cast<std::size_t>(f) * sizeof(float));
+        });
     recordKernel("gather_rows", 0.0,
                  2.0 * static_cast<double>(out.bytes()));
     return out;
@@ -523,15 +592,27 @@ scatterAddRows(const Tensor &src, const std::vector<int64_t> &idx,
     Tensor out = Tensor::zeros({num_rows, f}, src.device());
     const float *ps = src.data();
     float *po = out.data();
-    for (std::size_t e = 0; e < idx.size(); ++e) {
-        const int64_t r = idx[e];
-        gnnperf_assert(r >= 0 && r < num_rows, "scatterAddRows: index ",
-                       r, " out of ", num_rows);
-        const float *row = ps + static_cast<int64_t>(e) * f;
-        float *dst = po + r * f;
-        for (int64_t j = 0; j < f; ++j)
-            dst[j] += row[j];
-    }
+    const int64_t ne = static_cast<int64_t>(idx.size());
+    for (std::size_t e = 0; e < idx.size(); ++e)
+        gnnperf_assert(idx[e] >= 0 && idx[e] < num_rows,
+                       "scatterAddRows: index ", idx[e], " out of ",
+                       num_rows);
+    // Output-range partition (see scatterMaxRows): each chunk scans the
+    // full index vector in edge order but only accumulates rows in its
+    // range, so per-row float addition order matches the serial scan.
+    par::parallelFor(
+        "par.scatter_add", 0, num_rows, par::grainFor(num_rows, 1),
+        [&](int64_t rb, int64_t re, int) {
+            for (int64_t e = 0; e < ne; ++e) {
+                const int64_t r = idx[static_cast<std::size_t>(e)];
+                if (r < rb || r >= re)
+                    continue;
+                const float *row = ps + e * f;
+                float *dst = po + r * f;
+                for (int64_t j = 0; j < f; ++j)
+                    dst[j] += row[j];
+            }
+        });
     recordKernel("scatter_add", static_cast<double>(src.numel()),
                  2.0 * static_cast<double>(src.bytes()) +
                      static_cast<double>(out.bytes()));
@@ -546,12 +627,16 @@ rowNorms(const Tensor &a, float eps)
     Tensor out({n}, a.device());
     const float *pa = a.data();
     float *po = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-        float s = 0.0f;
-        for (int64_t j = 0; j < f; ++j)
-            s += pa[i * f + j] * pa[i * f + j];
-        po[i] = std::sqrt(s + eps);
-    }
+    par::parallelFor(
+        "par.row_norm", 0, n, rowGrain(f),
+        [&](int64_t ib, int64_t ie, int) {
+            for (int64_t i = ib; i < ie; ++i) {
+                float s = 0.0f;
+                for (int64_t j = 0; j < f; ++j)
+                    s += pa[i * f + j] * pa[i * f + j];
+                po[i] = std::sqrt(s + eps);
+            }
+        });
     recordKernel("row_norm", 2.0 * static_cast<double>(n * f),
                  static_cast<double>(a.bytes()));
     return out;
@@ -583,11 +668,16 @@ dropout(const Tensor &a, float p, Tensor &mask, uint64_t seed)
     float *pm = mask.data();
     float *po = out.data();
     const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) {
-        const float keep = rng.uniform() >= p ? scale : 0.0f;
-        pm[i] = keep;
-        po[i] = pa[i] * keep;
-    }
+    // The RNG stream is sequential, so the mask is generated serially
+    // (identical draws at every thread count); only the elementwise
+    // apply runs on the pool.
+    for (int64_t i = 0; i < n; ++i)
+        pm[i] = rng.uniform() >= p ? scale : 0.0f;
+    par::parallelFor("par.dropout_apply", 0, n, kElemGrain,
+                     [&](int64_t b, int64_t e, int) {
+                         for (int64_t i = b; i < e; ++i)
+                             po[i] = pa[i] * pm[i];
+                     });
     recordElementwise("dropout", n, 2.0, 3.0);
     return out;
 }

@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Thread-pool runtime tests: exact-once chunk coverage, work stealing
+ * under adversarial power-law row costs, and — the load-bearing
+ * property — byte-identical kernel outputs at every thread count,
+ * with `threads == 1` matching hand-written serial references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "common/random.hh"
+#include "device/cost_model.hh"
+#include "graph/edge_softmax.hh"
+#include "graph/graph.hh"
+#include "graph/scatter.hh"
+#include "graph/segment.hh"
+#include "graph/spmm.hh"
+#include "graph/workspace.hh"
+#include "obs/stats.hh"
+#include "parallel/thread_pool.hh"
+#include "tensor/init.hh"
+#include "tensor/matmul.hh"
+#include "tensor/ops.hh"
+
+using namespace gnnperf;
+using namespace gnnperf::graphops;
+
+namespace {
+
+/** Bitwise tensor equality — the determinism contract, not ASSERT_NEAR. */
+bool
+bitEq(const Tensor &a, const Tensor &b)
+{
+    return a.sameShape(b) &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.numel()) *
+                           sizeof(float)) == 0;
+}
+
+/**
+ * Adversarial power-law graph: node 0 receives an edge from every
+ * other node (one mega-degree row), the rest form a sparse chain. A
+ * static row partition without stealing serialises on the chunk that
+ * owns node 0; with stealing the other threads drain the rest.
+ */
+struct SkewFixture
+{
+    int64_t n = 257;
+    std::vector<int64_t> src, dst;
+    CsrIndex in;
+    Tensor x;
+
+    SkewFixture()
+    {
+        for (int64_t i = 1; i < n; ++i) {
+            src.push_back(i);
+            dst.push_back(0);
+        }
+        for (int64_t i = 0; i + 1 < n; ++i) {
+            src.push_back(i);
+            dst.push_back(i + 1);
+        }
+        in = buildInIndex(n, src, dst);
+        Rng rng(17);
+        x = init::normal({n, 9}, 0.0f, 1.0f, rng);
+    }
+
+    int64_t numEdges() const
+    {
+        return static_cast<int64_t>(src.size());
+    }
+};
+
+} // namespace
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    par::ThreadScope scope(4);
+    constexpr int64_t kN = 10007; // prime: uneven partitions
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto &h : hits)
+        h.store(0);
+    par::parallelFor("test.cover", 0, kN, 16,
+                     [&](int64_t b, int64_t e, int slot) {
+                         EXPECT_GE(slot, 0);
+                         EXPECT_LT(slot, 4);
+                         for (int64_t i = b; i < e; ++i)
+                             hits[static_cast<std::size_t>(i)]
+                                 .fetch_add(1);
+                     });
+    for (int64_t i = 0; i < kN; ++i)
+        ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "index " << i;
+}
+
+TEST(ThreadPool, SerialFallbackUsesSlotZeroInline)
+{
+    par::ThreadScope scope(1);
+    int calls = 0;
+    par::parallelFor("test.serial", 0, 100, 8,
+                     [&](int64_t b, int64_t e, int slot) {
+                         ++calls;
+                         EXPECT_EQ(b, 0);
+                         EXPECT_EQ(e, 100);
+                         EXPECT_EQ(slot, 0);
+                     });
+    EXPECT_EQ(calls, 1); // one inline call, no chunking
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges)
+{
+    par::ThreadScope scope(4);
+    int calls = 0;
+    par::parallelFor("test.empty", 5, 5, 8,
+                     [&](int64_t, int64_t, int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    par::parallelFor("test.tiny", 0, 3, 8,
+                     [&](int64_t b, int64_t e, int) {
+                         ++calls;
+                         EXPECT_EQ(e - b, 3);
+                     });
+    EXPECT_EQ(calls, 1); // fits one grain → inline
+}
+
+TEST(ThreadPool, NestedLaunchRunsInline)
+{
+    par::ThreadScope scope(4);
+    std::atomic<int> inner_calls{0};
+    par::parallelFor("test.outer", 0, 64, 1,
+                     [&](int64_t b, int64_t e, int) {
+                         EXPECT_TRUE(par::ThreadPool::inParallelRegion());
+                         par::parallelFor(
+                             "test.inner", 0, 100, 1,
+                             [&](int64_t ib, int64_t ie, int islot) {
+                                 EXPECT_EQ(ib, 0);
+                                 EXPECT_EQ(ie, 100);
+                                 EXPECT_EQ(islot, 0);
+                                 inner_calls.fetch_add(1);
+                             });
+                         (void)b;
+                         (void)e;
+                     });
+    EXPECT_FALSE(par::ThreadPool::inParallelRegion());
+    EXPECT_GE(inner_calls.load(), 1);
+}
+
+TEST(ThreadPool, ThreadScopeRestoresWidth)
+{
+    const int before = par::ThreadPool::instance().numThreads();
+    {
+        par::ThreadScope scope(3);
+        EXPECT_EQ(par::ThreadPool::instance().numThreads(), 3);
+        {
+            par::ThreadScope inner(1);
+            EXPECT_EQ(par::ThreadPool::instance().numThreads(), 1);
+        }
+        EXPECT_EQ(par::ThreadPool::instance().numThreads(), 3);
+    }
+    EXPECT_EQ(par::ThreadPool::instance().numThreads(), before);
+}
+
+TEST(ThreadPool, GrainForYieldsChunksPerSlot)
+{
+    par::ThreadScope scope(4);
+    // 1 chunk per slot: ceil(100 / 4) = 25.
+    EXPECT_EQ(par::grainFor(100, 1), 25);
+    // 4 chunks per slot: ceil(100 / 16) = 7.
+    EXPECT_EQ(par::grainFor(100, 4), 7);
+    EXPECT_EQ(par::grainFor(0, 1), 1);
+}
+
+TEST(ThreadPool, CountersAdvanceUnderSampling)
+{
+    stats::setSamplingEnabled(true);
+    auto valueOf = [](const char *name) {
+        for (const auto &snap : stats::Registry::instance().snapshotAll())
+            if (snap.name == name)
+                return snap.value;
+        return 0.0;
+    };
+    const double launches0 = valueOf("parallel.launches");
+    const double tasks0 = valueOf("parallel.tasks");
+    {
+        par::ThreadScope scope(4);
+        par::parallelFor("test.counters", 0, 1000, 10,
+                         [](int64_t, int64_t, int) {});
+    }
+    stats::setSamplingEnabled(false);
+    EXPECT_GE(valueOf("parallel.launches"), launches0 + 1.0);
+    // 1000 / grain 10 = 100 chunks, scheduled exactly once each.
+    EXPECT_GE(valueOf("parallel.tasks"), tasks0 + 100.0);
+}
+
+TEST(Workspace, SlicesAreCachelinePadded)
+{
+    Workspace ws;
+    float *base = ws.ensureSlices(5, 4, DeviceKind::Cuda);
+    ASSERT_NE(base, nullptr);
+    EXPECT_EQ(ws.sliceStride() % (64 / sizeof(float)), 0u);
+    EXPECT_GE(ws.sliceStride(), 5u);
+    EXPECT_GE(ws.capacity(), 4 * ws.sliceStride());
+    // All slices zeroed.
+    for (std::size_t i = 0; i < 4 * ws.sliceStride(); ++i)
+        ASSERT_EQ(base[i], 0.0f);
+}
+
+TEST(WorkspaceDeathTest, DoubleLeaseTrips)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Workspace ws;
+    WorkspaceLease lease(ws);
+    EXPECT_DEATH({ WorkspaceLease second(ws); }, "checked out twice");
+}
+
+TEST(WorkspaceDeathTest, EnsureInsideParallelRegionTrips)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            par::ThreadScope scope(2);
+            Workspace ws;
+            par::parallelFor("test.bad_ensure", 0, 1000, 1,
+                             [&](int64_t, int64_t, int) {
+                                 ws.ensure(4, DeviceKind::Cuda);
+                             });
+        },
+        "parallel region");
+}
+
+TEST(ParallelDeterminism, SerialReferenceSpmm)
+{
+    // threads == 1 must be the exact historical path: compare against a
+    // hand-written CSR loop, bit for bit.
+    SkewFixture f;
+    const int64_t feat = f.x.dim(1);
+    Tensor expect = Tensor::zeros({f.n, feat});
+    for (int64_t v = 0; v < f.n; ++v)
+        for (int64_t k = f.in.ptr[v]; k < f.in.ptr[v + 1]; ++k)
+            for (int64_t j = 0; j < feat; ++j)
+                expect.data()[v * feat + j] +=
+                    f.x.data()[f.in.neighbor[static_cast<std::size_t>(
+                                   k)] *
+                                   feat +
+                               j];
+    par::ThreadScope scope(1);
+    EXPECT_TRUE(bitEq(spmmCopyUSum(f.in, f.x), expect));
+}
+
+TEST(ParallelDeterminism, GraphKernelsBitIdenticalAcrossWidths)
+{
+    SkewFixture f;
+    Rng rng(23);
+    Tensor ew = init::normal({f.numEdges(), 3}, 0.0f, 1.0f, rng);
+    Tensor logits = init::normal({f.numEdges(), 3}, 0.0f, 1.0f, rng);
+    Tensor lgrad = init::normal({f.numEdges(), 3}, 0.0f, 1.0f, rng);
+
+    for (int width : {2, 3, 4}) {
+        Tensor s1, sw;
+        {
+            par::ThreadScope t1(1);
+            s1 = spmmCopyUSum(f.in, f.x);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = spmmCopyUSum(f.in, f.x);
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << "spmm_sum width " << width;
+
+        std::vector<int64_t> arg1, argw;
+        {
+            par::ThreadScope t1(1);
+            s1 = spmmCopyUMax(f.in, f.x, arg1);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = spmmCopyUMax(f.in, f.x, argw);
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << "spmm_max width " << width;
+        EXPECT_EQ(arg1, argw) << "spmm_max argmax width " << width;
+
+        {
+            par::ThreadScope t1(1);
+            s1 = spmmCopyUMean(f.in, f.x);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = spmmCopyUMean(f.in, f.x);
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << "spmm_mean width " << width;
+
+        {
+            par::ThreadScope t1(1);
+            s1 = spmmUMulESum(f.in, f.x, ew, 3);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = spmmUMulESum(f.in, f.x, ew, 3);
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << "spmm_u_mul_e width " << width;
+
+        {
+            par::ThreadScope t1(1);
+            s1 = sddmmDotUV(f.src, f.dst, f.x, f.x, 3);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = sddmmDotUV(f.src, f.dst, f.x, f.x, 3);
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << "sddmm width " << width;
+
+        {
+            par::ThreadScope t1(1);
+            s1 = edgeSoftmaxFused(f.in, logits);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = edgeSoftmaxFused(f.in, logits);
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << "edge_softmax width " << width;
+
+        Tensor alpha = s1;
+        {
+            par::ThreadScope t1(1);
+            s1 = edgeSoftmaxBackwardFused(f.in, alpha, lgrad);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = edgeSoftmaxBackwardFused(f.in, alpha, lgrad);
+        }
+        EXPECT_TRUE(bitEq(s1, sw))
+            << "edge_softmax_bwd width " << width;
+    }
+}
+
+TEST(ParallelDeterminism, ScatterSegmentBitIdenticalAcrossWidths)
+{
+    SkewFixture f;
+    // Scatter everything onto a few rows — worst-case contention for a
+    // naive parallel scatter, exercising the output-range partition.
+    std::vector<int64_t> idx;
+    for (int64_t i = 0; i < f.n; ++i)
+        idx.push_back(i % 5 == 0 ? 0 : i % 7);
+    std::vector<int64_t> seg{0, 1, 2, 130, f.n}; // skewed segments
+
+    for (int width : {2, 4}) {
+        Tensor s1, sw;
+        {
+            par::ThreadScope t1(1);
+            s1 = ops::scatterAddRows(f.x, idx, 7);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = ops::scatterAddRows(f.x, idx, 7);
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << "scatter_add width " << width;
+
+        std::vector<int64_t> arg1, argw;
+        {
+            par::ThreadScope t1(1);
+            s1 = scatterMaxRows(f.x, idx, 7, arg1);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = scatterMaxRows(f.x, idx, 7, argw);
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << "scatter_max width " << width;
+        EXPECT_EQ(arg1, argw) << "scatter_max argmax width " << width;
+
+        {
+            par::ThreadScope t1(1);
+            s1 = segmentSum(f.x, seg);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = segmentSum(f.x, seg);
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << "segment_sum width " << width;
+
+        Tensor g = s1;
+        {
+            par::ThreadScope t1(1);
+            s1 = segmentSumBackward(g, seg);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = segmentSumBackward(g, seg);
+        }
+        EXPECT_TRUE(bitEq(s1, sw))
+            << "segment_sum_bwd width " << width;
+
+        {
+            par::ThreadScope t1(1);
+            s1 = ops::gatherRows(f.x, idx);
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = ops::gatherRows(f.x, idx);
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << "gather width " << width;
+    }
+}
+
+TEST(ParallelDeterminism, DenseOpsBitIdenticalAcrossWidths)
+{
+    Rng rng(31);
+    Tensor a = init::normal({129, 65}, 0.0f, 1.0f, rng);
+    Tensor b = init::normal({129, 65}, 0.0f, 1.0f, rng);
+    Tensor ma = init::normal({67, 43}, 0.0f, 1.0f, rng);
+    Tensor mb = init::normal({43, 29}, 0.0f, 1.0f, rng);
+    Tensor bias = init::normal({65}, 0.0f, 1.0f, rng);
+    Tensor colv = init::normal({129}, 1.0f, 0.1f, rng);
+
+    auto both = [&](auto fn, const char *what, int width) {
+        Tensor s1, sw;
+        {
+            par::ThreadScope t1(1);
+            s1 = fn();
+        }
+        {
+            par::ThreadScope tw(width);
+            sw = fn();
+        }
+        EXPECT_TRUE(bitEq(s1, sw)) << what << " width " << width;
+    };
+
+    for (int width : {2, 4}) {
+        both([&] { return ops::matmul(ma, mb); }, "matmul", width);
+        both([&] { return ops::matmulTransA(ma, ma); }, "matmulTransA",
+             width);
+        both([&] { return ops::matmulTransB(a, b); }, "matmulTransB",
+             width);
+        both([&] { return ops::add(a, b); }, "add", width);
+        both([&] { return ops::relu(a); }, "relu", width);
+        both([&] { return ops::sigmoid(a); }, "sigmoid", width);
+        both([&] { return ops::addRows(a, bias); }, "addRows", width);
+        both([&] { return ops::mulCols(a, colv); }, "mulCols", width);
+        both([&] { return ops::divCols(a, colv); }, "divCols", width);
+        both([&] { return ops::sumRows(a); }, "sumRows", width);
+        both([&] { return ops::varRows(a, bias); }, "varRows", width);
+        both([&] { return ops::sumCols(a); }, "sumCols", width);
+        both([&] { return ops::softmaxRows(a); }, "softmaxRows", width);
+        both([&] { return ops::logSoftmaxRows(a); }, "logSoftmaxRows",
+             width);
+        both([&] { return ops::rowNorms(a, 1e-6f); }, "rowNorms",
+             width);
+
+        std::vector<int64_t> am1, amw;
+        {
+            par::ThreadScope t1(1);
+            am1 = ops::argmaxRows(a);
+        }
+        {
+            par::ThreadScope tw(width);
+            amw = ops::argmaxRows(a);
+        }
+        EXPECT_EQ(am1, amw) << "argmaxRows width " << width;
+
+        Tensor mask1, maskw;
+        both([&] { return ops::dropout(a, 0.3f, mask1, 99); },
+             "dropout", width);
+        {
+            par::ThreadScope t1(1);
+            Tensor o1 = ops::dropout(a, 0.3f, mask1, 99);
+            par::ThreadScope tw(width);
+            Tensor ow = ops::dropout(a, 0.3f, maskw, 99);
+            EXPECT_TRUE(bitEq(mask1, maskw))
+                << "dropout mask width " << width;
+            EXPECT_TRUE(bitEq(o1, ow)) << "dropout out width " << width;
+        }
+
+        // In-place ops: same-seeded copies must converge identically.
+        Tensor c1 = ops::scale(a, 1.0f), cw = ops::scale(a, 1.0f);
+        {
+            par::ThreadScope t1(1);
+            ops::addScaledInPlace(c1, b, 0.25f);
+        }
+        {
+            par::ThreadScope tw(width);
+            ops::addScaledInPlace(cw, b, 0.25f);
+        }
+        EXPECT_TRUE(bitEq(c1, cw)) << "axpy width " << width;
+    }
+}
+
+TEST(CostModelParallel, SpeedupIsMonotoneAndCapped)
+{
+    ParallelSpec spec;
+    EXPECT_DOUBLE_EQ(spec.speedup(1), 1.0);
+    double prev = 1.0;
+    for (int t = 2; t <= 16; t *= 2) {
+        const double s = spec.speedup(t);
+        EXPECT_GT(s, prev) << t;
+        EXPECT_LE(s, static_cast<double>(t)) << t;
+        prev = s;
+    }
+    // Amdahl: the serial fraction bounds the asymptote.
+    EXPECT_LT(spec.speedup(64), 1.0 / spec.serialFraction);
+}
