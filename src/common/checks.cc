@@ -1,0 +1,34 @@
+#include "common/checks.hh"
+
+#include "common/env.hh"
+
+namespace gnnperf {
+
+namespace detail {
+
+bool g_checksResolved = false;
+bool g_checksEnabled = false;
+
+bool
+checksEnabledSlow()
+{
+#ifdef GNNPERF_CHECKED
+    const int64_t fallback = 1;
+#else
+    const int64_t fallback = 0;
+#endif
+    g_checksEnabled = envInt("GNNPERF_CHECKS", fallback) != 0;
+    g_checksResolved = true;
+    return g_checksEnabled;
+}
+
+} // namespace detail
+
+void
+setChecksEnabled(bool on)
+{
+    detail::g_checksEnabled = on;
+    detail::g_checksResolved = true;
+}
+
+} // namespace gnnperf

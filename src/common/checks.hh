@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The process-wide correctness-check level.
+ *
+ * The repo's headline determinism claim — bit-identical kernel output
+ * at every thread width — rests on hand-written partitioning logic and
+ * allocator pooling that nothing verifies structurally in release
+ * builds. Checked builds turn those conventions into machine-checked
+ * invariants:
+ *
+ *  - the parallel write-set checker (parallel/write_check.hh) records
+ *    the index ranges every parallelFor chunk executes/writes and
+ *    asserts disjointness and exact-once coverage after the barrier;
+ *  - the allocator guard layer (device/allocator.hh) places redzone
+ *    canaries around every MemoryBlock and poison-fills freed blocks,
+ *    verified on free/reuse/trim/emptyCache;
+ *  - the profiler asserts every recorded kernel name is registered in
+ *    the cost model's kernel registry (device/kernel_registry.hh).
+ *
+ * Enabling: GNNPERF_CHECKS=1 in the environment, or configure with
+ * -DGNNPERF_CHECKED=ON to make checked the build's default (the env
+ * var still wins either way: GNNPERF_CHECKS=0 turns a checked build
+ * off). When off, every check site is one branch on a plain bool —
+ * stats, numerics and artifacts are byte-identical to a build without
+ * the layer (see docs/CORRECTNESS.md).
+ */
+
+#ifndef GNNPERF_COMMON_CHECKS_HH
+#define GNNPERF_COMMON_CHECKS_HH
+
+namespace gnnperf {
+
+namespace detail {
+/** Resolved once from GNNPERF_CHECKS / GNNPERF_CHECKED, then cached. */
+bool checksEnabledSlow();
+extern bool g_checksResolved;
+extern bool g_checksEnabled;
+} // namespace detail
+
+/** True when correctness checks are active (see file comment). */
+inline bool
+checksEnabled()
+{
+    if (!detail::g_checksResolved)
+        return detail::checksEnabledSlow();
+    return detail::g_checksEnabled;
+}
+
+/**
+ * Override the check level at runtime (tests flip it to prove the
+ * zero-overhead-when-off contract). Blocks allocated under one level
+ * carry their guard geometry with them, so toggling mid-run is safe.
+ */
+void setChecksEnabled(bool on);
+
+} // namespace gnnperf
+
+#endif // GNNPERF_COMMON_CHECKS_HH

@@ -1,8 +1,10 @@
 #include "common/fs.hh"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <fstream>
 #include <sstream>
@@ -50,6 +52,51 @@ writeFile(const std::string &path, const std::string &content)
     file << content;
     if (!file)
         gnnperf_fatal("write to ", path, " failed");
+}
+
+namespace {
+
+bool
+walkDir(const std::string &dir,
+        const std::vector<std::string> &skip_dirs,
+        std::vector<std::string> &out)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return false;
+    while (const dirent *entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..")
+            continue;
+        const std::string path = dir + "/" + name;
+        struct stat st{};
+        if (::lstat(path.c_str(), &st) != 0)
+            continue;
+        if (S_ISDIR(st.st_mode)) {
+            if (std::find(skip_dirs.begin(), skip_dirs.end(), name) ==
+                skip_dirs.end())
+                walkDir(path, skip_dirs, out);
+        } else if (S_ISREG(st.st_mode)) {
+            out.push_back(path);
+        }
+    }
+    ::closedir(d);
+    return true;
+}
+
+} // namespace
+
+bool
+listFiles(const std::string &root,
+          const std::vector<std::string> &skip_dirs,
+          std::vector<std::string> &out)
+{
+    if (!isDir(root))
+        return false;
+    if (!walkDir(root, skip_dirs, out))
+        return false;
+    std::sort(out.begin(), out.end());
+    return true;
 }
 
 bool

@@ -9,6 +9,7 @@
 #define GNNPERF_COMMON_FS_HH
 
 #include <string>
+#include <vector>
 
 namespace gnnperf {
 
@@ -31,6 +32,16 @@ bool readFile(const std::string &path, std::string &out);
  * cannot be written is a fatal misconfiguration, never a silent skip.
  */
 void writeFile(const std::string &path, const std::string &content);
+
+/**
+ * Recursively list the regular files under `root` (sorted, paths
+ * include `root` as prefix). Directories named in `skip_dirs` are not
+ * descended into (e.g. "build", ".git"). Returns false when `root` is
+ * not a readable directory.
+ */
+bool listFiles(const std::string &root,
+               const std::vector<std::string> &skip_dirs,
+               std::vector<std::string> &out);
 
 } // namespace gnnperf
 

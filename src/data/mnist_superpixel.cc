@@ -224,11 +224,12 @@ imageToSuperpixelGraph(const std::vector<float> &image, int64_t label,
         std::partial_sort(dists.begin(), dists.begin() + take,
                           dists.end());
         for (std::size_t t = 0; t < take; ++t) {
-            auto key = std::minmax(static_cast<int64_t>(i),
-                                   dists[t].second);
-            if (seen.insert({key.first, key.second}).second)
-                g.addUndirectedEdge(static_cast<int64_t>(i),
-                                    dists[t].second);
+            // Not std::minmax: it returns references to its
+            // arguments, which here would dangle past this statement.
+            const int64_t a = static_cast<int64_t>(i);
+            const int64_t b = dists[t].second;
+            if (seen.insert({std::min(a, b), std::max(a, b)}).second)
+                g.addUndirectedEdge(a, b);
         }
     }
     return g;

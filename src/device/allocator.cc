@@ -1,12 +1,111 @@
 #include "device/allocator.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
+#include "common/checks.hh"
 #include "common/logging.hh"
 #include "obs/memtrace.hh"
 
 namespace gnnperf {
+
+// --- Guard layer (checked builds) --------------------------------------
+
+namespace {
+
+/** First offset in [p, p + n) whose byte differs from `expect`. */
+const char *
+findTornByte(const char *p, std::size_t n, unsigned char expect)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (static_cast<unsigned char>(p[i]) != expect)
+            return p + i;
+    return nullptr;
+}
+
+/**
+ * Usable bytes of a live block: every block promises at least one
+ * float even for zero-byte requests (the historical Storage
+ * contract), so the tail redzone starts past that floor.
+ */
+std::size_t
+usableBytes(const MemoryBlock *block)
+{
+    return std::max(block->requested, sizeof(float));
+}
+
+} // namespace
+
+void
+Allocator::armGuards(MemoryBlock *block)
+{
+    if (block->guard == 0)
+        return;
+    // Front redzone, then everything between the usable bytes and
+    // the backing capacity (tail redzone + rounding slack).
+    std::memset(block->ptr, kCanaryByte, block->guard);
+    char *tail = block->ptr + block->guard + usableBytes(block);
+    std::memset(tail, kCanaryByte,
+                static_cast<std::size_t>(block->ptr + block->size -
+                                         tail));
+}
+
+void
+Allocator::verifyGuards(const MemoryBlock *block, const char *where)
+{
+    if (block->guard == 0)
+        return;
+    if (const char *torn =
+            findTornByte(block->ptr, block->guard, kCanaryByte)) {
+        guardViolation(block, "redzone underrun (write before the "
+                              "tensor start)",
+                       where,
+                       static_cast<std::size_t>(torn - block->ptr));
+    }
+    const char *tail = block->ptr + block->guard + usableBytes(block);
+    const std::size_t tail_len =
+        static_cast<std::size_t>(block->ptr + block->size - tail);
+    if (const char *torn = findTornByte(tail, tail_len, kCanaryByte)) {
+        guardViolation(block, "redzone overrun (write past the tensor "
+                              "end)",
+                       where,
+                       static_cast<std::size_t>(torn - block->ptr));
+    }
+}
+
+void
+Allocator::poison(MemoryBlock *block)
+{
+    std::memset(block->ptr, kPoisonByte, block->size);
+    block->poisoned = true;
+}
+
+void
+Allocator::verifyPoison(const MemoryBlock *block, const char *where)
+{
+    if (!block->poisoned)
+        return;
+    if (const char *torn =
+            findTornByte(block->ptr, block->size, kPoisonByte)) {
+        guardViolation(block, "poison torn (use-after-free write into "
+                              "cached memory)",
+                       where,
+                       static_cast<std::size_t>(torn - block->ptr));
+    }
+}
+
+void
+Allocator::guardViolation(const MemoryBlock *block, const char *what,
+                          const char *where, std::size_t offset)
+{
+    MemTracer::instance().onGuardViolation(device_, block, offset);
+    gnnperf_panic("allocator guard: ", what, " detected on ", where,
+                  " (device ", deviceName(device_), ", block #",
+                  block->traceId, ", capacity ", block->size,
+                  " bytes, requested ", block->requested,
+                  ", torn byte at offset ", offset, ")");
+}
 
 // --- DirectAllocator ---------------------------------------------------
 
@@ -15,13 +114,17 @@ DirectAllocator::allocate(std::size_t bytes)
 {
     // Like the historical Storage: always hand out a usable pointer,
     // even for zero-element tensors, but account the requested size.
-    const std::size_t capacity = std::max(bytes, sizeof(float));
+    const std::size_t guard = checksEnabled() ? kRedzone : 0;
+    const std::size_t capacity =
+        std::max(bytes, sizeof(float)) + 2 * guard;
     auto *block = new MemoryBlock;
     block->ptr = new char[capacity]();
     block->size = capacity;
     block->requested = bytes;
+    block->guard = guard;
     block->owner = this;
     block->segmentHead = true;
+    armGuards(block);
     DeviceManager &dm = DeviceManager::instance();
     dm.notifyReserve(device_, capacity);
     dm.notifyAlloc(device_, bytes);
@@ -34,10 +137,16 @@ DirectAllocator::release(MemoryBlock *block)
 {
     gnnperf_assert(block != nullptr && block->owner == this,
                    "releasing a block to the wrong allocator");
+    verifyGuards(block, "release");
     DeviceManager &dm = DeviceManager::instance();
     dm.notifyFree(device_, block->requested);
     dm.notifyUnreserve(device_, block->size);
     MemTracer::instance().onFree(device_, block);
+    // Poison before the backing free so a dangling reader sees
+    // obviously-dead bytes even in the window before the heap reuses
+    // the pages.
+    if (block->guard != 0)
+        poison(block);
     delete[] block->ptr;
     delete block;
 }
@@ -71,7 +180,12 @@ CachingAllocator::roundUp(std::size_t bytes)
 MemoryBlock *
 CachingAllocator::allocate(std::size_t bytes)
 {
-    const std::size_t rounded = roundUp(bytes);
+    // Guarded allocations carry their redzones inside the rounded
+    // capacity, so split/coalesce arithmetic is untouched; logical
+    // accounting stays `bytes`, reserved accounting grows by the
+    // redzones (checked builds only).
+    const std::size_t guard = checksEnabled() ? kRedzone : 0;
+    const std::size_t rounded = roundUp(bytes + 2 * guard);
     DeviceManager &dm = DeviceManager::instance();
 
     MemoryBlock key;
@@ -82,6 +196,10 @@ CachingAllocator::allocate(std::size_t bytes)
         block = *it;
         free_.erase(it);
         dm.notifyCacheHit(device_);
+        // The whole cached block was poison-filled when it was
+        // released; a torn byte means a stale pointer wrote into the
+        // pool while the block sat in the free list.
+        verifyPoison(block, "reuse");
         if (block->size >= rounded + kQuantum) {
             // Split: keep `rounded` bytes, return the tail to the pool.
             auto *rest = new MemoryBlock;
@@ -91,6 +209,7 @@ CachingAllocator::allocate(std::size_t bytes)
             rest->prev = block;
             rest->next = block->next;
             rest->isFree = true;
+            rest->poisoned = block->poisoned;
             rest->lastUseGen = gen_;
             if (block->next != nullptr)
                 block->next->prev = rest;
@@ -99,6 +218,13 @@ CachingAllocator::allocate(std::size_t bytes)
             free_.insert(rest);
             dm.notifySplit(device_);
             MemTracer::instance().onSplit(device_, rest->size);
+        }
+        if (block->poisoned) {
+            // Un-poison like a fresh segment: zero the capacity so
+            // checked runs see the same deterministic contents a pool
+            // miss would hand out.
+            std::memset(block->ptr, 0, block->size);
+            block->poisoned = false;
         }
     } else {
         // Pool miss: reserve a fresh segment from the system.
@@ -112,7 +238,9 @@ CachingAllocator::allocate(std::size_t bytes)
     }
     block->isFree = false;
     block->requested = bytes;
+    block->guard = guard;
     block->lastUseGen = gen_;
+    armGuards(block);
     dm.notifyAlloc(device_, bytes);
     MemTracer::instance().onAlloc(device_, block);
     return block;
@@ -135,25 +263,36 @@ CachingAllocator::release(MemoryBlock *block)
     gnnperf_assert(block != nullptr && block->owner == this,
                    "releasing a block to the wrong allocator");
     gnnperf_assert(!block->isFree, "double free of a cached block");
+    verifyGuards(block, "release");
     DeviceManager &dm = DeviceManager::instance();
     dm.notifyFree(device_, block->requested);
     MemTracer::instance().onFree(device_, block);
     block->requested = 0;
     block->isFree = true;
+    if (block->guard != 0) {
+        block->guard = 0;
+        poison(block);
+    }
 
-    // Coalesce with free address-neighbours inside the segment.
+    // Coalesce with free address-neighbours inside the segment. A
+    // merged block stays poison-checkable only if both halves were
+    // poisoned (a half cached before checks were on never was).
     if (block->next != nullptr && block->next->isFree) {
         const std::size_t absorbed = block->next->size;
+        const bool both = block->poisoned && block->next->poisoned;
         free_.erase(block->next);
         mergeWithNext(block);
+        block->poisoned = both;
         dm.notifyCoalesce(device_);
         MemTracer::instance().onCoalesce(device_, absorbed);
     }
     if (block->prev != nullptr && block->prev->isFree) {
         MemoryBlock *prev = block->prev;
         const std::size_t absorbed = block->size;
+        const bool both = prev->poisoned && block->poisoned;
         free_.erase(prev);
         mergeWithNext(prev);
+        prev->poisoned = both;
         dm.notifyCoalesce(device_);
         MemTracer::instance().onCoalesce(device_, absorbed);
         block = prev;
@@ -178,6 +317,9 @@ CachingAllocator::releaseSegments(bool only_stale)
     }
     std::size_t freed = 0;
     for (MemoryBlock *b : victims) {
+        // Last chance to catch a dangling write before the segment's
+        // backing memory goes back to the system.
+        verifyPoison(b, only_stale ? "trim" : "emptyCache");
         free_.erase(b);
         dm.notifyUnreserve(device_, b->size);
         freed += b->size;
@@ -185,6 +327,19 @@ CachingAllocator::releaseSegments(bool only_stale)
         delete b;
     }
     return freed;
+}
+
+std::size_t
+CachingAllocator::checkGuards()
+{
+    std::size_t checked = 0;
+    for (const MemoryBlock *b : free_) {
+        if (!b->poisoned)
+            continue;
+        verifyPoison(b, "checkGuards");
+        ++checked;
+    }
+    return checked;
 }
 
 void

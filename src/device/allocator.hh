@@ -22,6 +22,23 @@
  * faithful live-tensor number) and reserved current/peak (the
  * nvidia-smi-like pool high-water mark), plus cache hit/miss and
  * split/coalesce counters for the caching path.
+ *
+ * Guard layer (checked builds, common/checks.hh): every block is
+ * bracketed by redzone canaries — kRedzone bytes of 0xAB in front of
+ * the user region and every byte between the usable size and the
+ * backing capacity behind it (usable = max(requested, sizeof(float)):
+ * like the historical Storage, even a zero-byte block promises one
+ * writable float) — verified when the block is released; a
+ * torn canary means a kernel overran a tensor. Released blocks are
+ * poison-filled (0xDD) over their whole capacity, and the poison is
+ * re-verified when the caching pool hands the block out again and when
+ * trim()/emptyCache() return its segment to the system — a torn
+ * poison byte means something wrote through a dangling pointer into
+ * pooled memory. Violations emit a MemTracer GuardViolation event and
+ * abort. Logical accounting never includes guard bytes, so the Fig. 4
+ * line stays faithful; reserved accounting grows by the redzones
+ * (checked builds only). When checks are off the guard fields stay
+ * zero and every code path is byte-identical to the unguarded build.
  */
 
 #ifndef GNNPERF_DEVICE_ALLOCATOR_HH
@@ -55,13 +72,25 @@ struct MemoryBlock
     MemoryBlock *next = nullptr;
     bool isFree = false;
     bool segmentHead = false;  ///< owns the segment's backing array
+    bool poisoned = false;     ///< capacity poison-filled on release
     uint64_t lastUseGen = 0;   ///< trim generation of the last use
     uint64_t traceId = 0;      ///< MemTracer id (0 = untracked)
 
-    float *floats() { return reinterpret_cast<float *>(ptr); }
+    /**
+     * Front redzone width. 0 when the block was allocated with checks
+     * off; the user region starts at ptr + guard. Carried per block so
+     * toggling the check level mid-run releases every block with the
+     * geometry it was allocated under.
+     */
+    std::size_t guard = 0;
+
+    char *data() { return ptr + guard; }
+    const char *data() const { return ptr + guard; }
+
+    float *floats() { return reinterpret_cast<float *>(ptr + guard); }
     const float *floats() const
     {
-        return reinterpret_cast<const float *>(ptr);
+        return reinterpret_cast<const float *>(ptr + guard);
     }
 };
 
@@ -74,6 +103,15 @@ struct MemoryBlock
 class Allocator
 {
   public:
+    /** Front redzone width in guarded (checked) allocations. */
+    static constexpr std::size_t kRedzone = 64;
+
+    /** Canary byte filling redzones while a block is live. */
+    static constexpr unsigned char kCanaryByte = 0xAB;
+
+    /** Poison byte filling a block's capacity while it is free. */
+    static constexpr unsigned char kPoisonByte = 0xDD;
+
     explicit Allocator(DeviceKind device) : device_(device) {}
     virtual ~Allocator() = default;
 
@@ -97,10 +135,43 @@ class Allocator
      */
     virtual void trim() {}
 
+    /**
+     * Sweep every cached (free) block and verify its poison fill is
+     * intact — the use-after-free check, callable at any quiescent
+     * point (the test main runs it at process exit next to
+     * leakCheck()). Blocks cached before checks were enabled are
+     * skipped. Returns the number of blocks verified.
+     */
+    virtual std::size_t checkGuards() { return 0; }
+
     DeviceKind device() const { return device_; }
 
   protected:
     DeviceKind device_;
+
+    /** Fill both redzones of a freshly allocated guarded block. */
+    void armGuards(MemoryBlock *block);
+
+    /**
+     * Verify `block`'s redzones (live block, `where` = "release" site)
+     * — panic + MemTracer GuardViolation on a torn canary.
+     */
+    void verifyGuards(const MemoryBlock *block, const char *where);
+
+    /** Poison a released block's whole capacity. */
+    void poison(MemoryBlock *block);
+
+    /**
+     * Verify a cached block's poison fill is intact; panic + MemTracer
+     * GuardViolation on a torn byte (use-after-free write).
+     */
+    void verifyPoison(const MemoryBlock *block, const char *where);
+
+    /** Report a guard violation: MemTracer event, then panic. */
+    [[noreturn]] void guardViolation(const MemoryBlock *block,
+                                     const char *what,
+                                     const char *where,
+                                     std::size_t offset);
 };
 
 /** One backing allocation per block — the historical behaviour. */
@@ -137,6 +208,7 @@ class CachingAllocator final : public Allocator
     void release(MemoryBlock *block) override;
     void emptyCache() override;
     void trim() override;
+    std::size_t checkGuards() override;
 
     /** Free bytes currently held in the pool. */
     std::size_t cachedBytes() const;

@@ -178,6 +178,17 @@ DeviceManager::trimCaches()
     }
 }
 
+std::size_t
+DeviceManager::checkGuards()
+{
+    std::size_t checked = 0;
+    for (DeviceKind kind : {DeviceKind::Host, DeviceKind::Cuda}) {
+        checked += device(kind).direct->checkGuards();
+        checked += device(kind).caching->checkGuards();
+    }
+    return checked;
+}
+
 namespace {
 
 /**

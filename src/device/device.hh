@@ -126,6 +126,14 @@ class DeviceManager
     /** Epoch boundary: drop cached blocks unused for a full epoch. */
     void trimCaches();
 
+    /**
+     * Sweep every allocator on every device and verify cached-block
+     * poison fills (Allocator::checkGuards). Panics on corruption;
+     * returns the number of blocks verified. The test main calls this
+     * at process exit next to the leak check.
+     */
+    std::size_t checkGuards();
+
     // --- notifications, called by the allocators ---
 
     /** Logical (live-tensor) acquire / release. */

@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/checks.hh"
+#include "device/kernel_registry.hh"
 #include "device/trace.hh"
 #include "obs/spans.hh"
 
@@ -60,6 +62,11 @@ class Profiler
     void
     recordKernel(const char *name, double flops, double bytes)
     {
+        // Checked builds verify the name even while tracing is off:
+        // the registry contract holds for every kernel a test runs,
+        // not just the profiled ones.
+        if (checksEnabled())
+            assertKernelRegistered(name);
         if (!enabled_)
             return;
         trace_.addKernel(KernelRecord{name, flops, bytes, phase_, layer_});

@@ -7,6 +7,7 @@
 #include "device/profiler.hh"
 #include "graph/workspace.hh"
 #include "parallel/thread_pool.hh"
+#include "parallel/write_check.hh"
 
 namespace gnnperf {
 namespace graphops {
@@ -34,7 +35,11 @@ edgeSoftmaxFused(const CsrIndex &in_index, const Tensor &logits)
     const std::size_t stride = scratch.sliceStride();
     // Destination nodes own disjoint edge sets in a CSR incidence
     // index, so per-node chunks write disjoint alpha rows and the
-    // result is byte-identical at any thread count.
+    // result is byte-identical at any thread count. The launch iterates
+    // nodes but writes *edges*, so checked builds declare the derived
+    // write-set over the edge domain: every alpha row must be written
+    // exactly once, by exactly one chunk.
+    par::WriteSet ws("edge_softmax", in_index.numEdges());
     par::parallelFor(
         "par.edge_softmax", 0, in_index.numNodes(), 64,
         [&](int64_t vb, int64_t ve, int slot) {
@@ -75,6 +80,7 @@ edgeSoftmaxFused(const CsrIndex &in_index, const Tensor &logits)
                     for (int64_t hh = 0; hh < h; ++hh)
                         pa[e * h + hh] /=
                             denom[static_cast<std::size_t>(hh)];
+                    ws.note(slot, e, e + 1);
                 }
             }
         });
@@ -101,6 +107,7 @@ edgeSoftmaxBackwardFused(const CsrIndex &in_index, const Tensor &alpha,
     float *base = scratch.ensureSlices(static_cast<std::size_t>(h),
                                        slots, alpha.device());
     const std::size_t stride = scratch.sliceStride();
+    par::WriteSet ws("edge_softmax_bwd", in_index.numEdges());
     par::parallelFor(
         "par.edge_softmax_bwd", 0, in_index.numNodes(), 64,
         [&](int64_t vb, int64_t ve, int slot) {
@@ -127,6 +134,7 @@ edgeSoftmaxBackwardFused(const CsrIndex &in_index, const Tensor &alpha,
                             pa[e * h + hh] *
                             (pg[e * h + hh] -
                              acc[static_cast<std::size_t>(hh)]);
+                    ws.note(slot, e, e + 1);
                 }
             }
         });

@@ -6,6 +6,7 @@
 #include "device/profiler.hh"
 #include "obs/stats.hh"
 #include "parallel/thread_pool.hh"
+#include "parallel/write_check.hh"
 #include "tensor/ops.hh"
 
 namespace gnnperf {
@@ -72,9 +73,16 @@ scatterMaxRows(const Tensor &src, const std::vector<int64_t> &idx,
     // per-row update sequence — and therefore ties in the max — match
     // the serial scan exactly. One chunk per thread (grainFor(.., 1)):
     // each extra chunk re-reads the whole index vector.
+    //
+    // Checked builds declare the sparse written row set: rows with no
+    // incoming edges stay unwritten (requireCover(false)), but the
+    // rows each chunk did touch must be disjoint from every other
+    // chunk's.
+    par::WriteSet ws("scatter_max", num_rows);
+    ws.requireCover(false);
     par::parallelFor(
         "par.scatter_max", 0, num_rows, par::grainFor(num_rows, 1),
-        [&](int64_t rb, int64_t re, int) {
+        [&](int64_t rb, int64_t re, int slot) {
             for (int64_t e = 0; e < ne; ++e) {
                 const int64_t r = idx[static_cast<std::size_t>(e)];
                 if (r < rb || r >= re)
@@ -88,6 +96,25 @@ scatterMaxRows(const Tensor &src, const std::vector<int64_t> &idx,
                         arg[j] = e;
                     }
                 }
+            }
+            if (ws.active()) {
+                // Note contiguous runs of touched rows (argmax set for
+                // any column) once per run, after the edge scan.
+                int64_t run = -1;
+                for (int64_t r = rb; r < re; ++r) {
+                    bool written = false;
+                    const int64_t *arg = parg + r * f;
+                    for (int64_t j = 0; j < f && !written; ++j)
+                        written = arg[j] >= 0;
+                    if (written && run < 0)
+                        run = r;
+                    else if (!written && run >= 0) {
+                        ws.note(slot, run, r);
+                        run = -1;
+                    }
+                }
+                if (run >= 0)
+                    ws.note(slot, run, re);
             }
         });
     // Empty rows: replace -inf with 0.

@@ -4,6 +4,7 @@
 #include "device/profiler.hh"
 #include "obs/stats.hh"
 #include "parallel/thread_pool.hh"
+#include "parallel/write_check.hh"
 
 namespace gnnperf {
 namespace graphops {
@@ -72,10 +73,14 @@ segmentBroadcast(const Tensor &grad, const std::vector<int64_t> &ptr,
     const float *pg = grad.data();
     float *po = out.data();
     // Segments are disjoint node ranges, so per-graph chunks write
-    // disjoint output rows.
+    // disjoint output rows. The launch iterates graphs but writes the
+    // ptr-derived *node-row* ranges, so checked builds verify those
+    // ranges tile [0, n) exactly — a non-monotonic segment pointer
+    // aborts here instead of racing.
+    par::WriteSet ws(name, n);
     par::parallelFor(
         "par.segment_bcast", 0, b, 16,
-        [&](int64_t gb, int64_t ge, int) {
+        [&](int64_t gb, int64_t ge, int slot) {
             for (int64_t g = gb; g < ge; ++g) {
                 const int64_t begin = ptr[static_cast<std::size_t>(g)];
                 const int64_t end = ptr[static_cast<std::size_t>(g) + 1];
@@ -88,6 +93,8 @@ segmentBroadcast(const Tensor &grad, const std::vector<int64_t> &ptr,
                     for (int64_t j = 0; j < f; ++j)
                         dst[j] = row[j] * scale;
                 }
+                if (end > begin)
+                    ws.note(slot, begin, end);
             }
         });
     recordKernel(name, static_cast<double>(out.numel()),

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 #include "common/logging.hh"
 #include "device/allocator.hh"
@@ -9,11 +11,54 @@
 
 namespace gnnperf {
 
-Workspace::Workspace(DeviceKind device) : device_(device) {}
+namespace {
+
+/**
+ * Live-workspace registry behind Workspace::releaseAll(). Guarded by
+ * its own mutex: workspaces are constructed/destroyed and drained only
+ * outside parallel regions, but static init order is arbitrary.
+ */
+std::mutex &
+registryMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::vector<Workspace *> &
+registry()
+{
+    static std::vector<Workspace *> workspaces;
+    return workspaces;
+}
+
+} // namespace
+
+Workspace::Workspace(DeviceKind device) : device_(device)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registry().push_back(this);
+}
 
 Workspace::~Workspace()
 {
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        auto &all = registry();
+        all.erase(std::find(all.begin(), all.end(), this));
+    }
     releaseBlock();
+}
+
+void
+Workspace::releaseAll()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    for (Workspace *ws : registry()) {
+        gnnperf_assert(!ws->inUse_.load(std::memory_order_acquire),
+                       "Workspace::releaseAll with a lease checked out");
+        ws->releaseBlock();
+    }
 }
 
 void

@@ -70,6 +70,15 @@ class Workspace
     void beginUse();
     void endUse();
 
+    /**
+     * Release the blocks of every live Workspace (they re-acquire on
+     * their next ensure()). The test main calls this before its
+     * process-exit leak check, so intentionally retained scratch does
+     * not mask a real leak. Must be called outside parallel regions
+     * and with no lease checked out.
+     */
+    static void releaseAll();
+
   private:
     void releaseBlock();
 

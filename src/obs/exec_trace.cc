@@ -180,7 +180,7 @@ ExecTrace &
 ExecTrace::instance()
 {
     // Leaked like the tracers it drives.
-    static ExecTrace *trace = new ExecTrace();
+    static ExecTrace *trace = new ExecTrace();  // lint:allow leaked singleton
     return *trace;
 }
 

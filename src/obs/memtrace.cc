@@ -42,6 +42,8 @@ memEventName(MemEventKind kind)
         return "empty_cache";
       case MemEventKind::ResetPeak:
         return "reset_peak";
+      case MemEventKind::GuardViolation:
+        return "guard_violation";
     }
     return "?";
 }
@@ -51,7 +53,7 @@ MemTracer::instance()
 {
     // Leaked like the DeviceManager: blocks released during static
     // destruction must still find the tracer alive.
-    static MemTracer *tracer = new MemTracer();
+    static MemTracer *tracer = new MemTracer();  // lint:allow leaked singleton
     return *tracer;
 }
 
@@ -140,6 +142,19 @@ MemTracer::onCacheRelease(DeviceKind device, MemEventKind kind,
         return;
     std::lock_guard<std::mutex> lock(mu_);
     pushEvent(device, kind, 0, bytes);
+}
+
+void
+MemTracer::onGuardViolation(DeviceKind device,
+                            const MemoryBlock *block,
+                            std::size_t offset)
+{
+    // Deliberately no enabled() gate: the allocator is about to panic,
+    // and a post-mortem reader of the trace must find the violation
+    // regardless of whether recording was on.
+    std::lock_guard<std::mutex> lock(mu_);
+    pushEvent(device, MemEventKind::GuardViolation, block->traceId,
+              offset);
 }
 
 void

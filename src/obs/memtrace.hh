@@ -54,10 +54,11 @@ enum class MemEventKind : uint8_t {
     Trim,        ///< generational cache trim returned segments
     EmptyCache,  ///< emptyCache() returned every free segment
     ResetPeak,   ///< peak accounting was reset (new measure window)
+    GuardViolation,  ///< redzone/poison corruption (checked builds)
 };
 
 /** Number of distinct memory-event kinds. */
-constexpr int kNumMemEventKinds = 7;
+constexpr int kNumMemEventKinds = 8;
 
 /** Human-readable event-kind name ("alloc", "reset_peak", …). */
 const char *memEventName(MemEventKind kind);
@@ -153,6 +154,15 @@ class MemTracer
 
     /** DeviceManager::resetPeak hook: emit a window marker. */
     void onResetPeak(DeviceKind device);
+
+    /**
+     * The allocator guard layer found a torn canary/poison byte in
+     * `block` at `offset` (docs/CORRECTNESS.md). Recorded even while
+     * the tracer is disabled — the process is about to panic, and the
+     * event must not depend on tracing being on to exist.
+     */
+    void onGuardViolation(DeviceKind device, const MemoryBlock *block,
+                          std::size_t offset);
 
     // --- queries ---
 

@@ -32,7 +32,10 @@ Distribution::bucketIndex(double v)
 {
     if (!(v >= 1.0))
         return 0;
-    const int b = 1 + std::ilogb(v);
+    // ilogb(+inf) is INT_MAX, so `1 + ilogb(v)` would be signed
+    // overflow (UB) for infinite samples; clamp before the increment.
+    const int e = std::min(std::ilogb(v), kNumBuckets - 2);
+    const int b = 1 + e;
     return b < kNumBuckets ? b : kNumBuckets - 1;
 }
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "common/checks.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "obs/spans.hh"
 #include "obs/stats.hh"
+#include "parallel/write_check.hh"
 
 namespace gnnperf {
 namespace par {
@@ -18,6 +20,28 @@ thread_local bool t_onWorker = false;
 /** Set while this thread is inside a parallel launch (worker or caller). */
 thread_local bool t_inRegion = false;
 
+/**
+ * Checked-launch trampoline: run the user's chunk, then log the chunk
+ * range into the write-set checker's per-slot log. `ctx` is the
+ * (userFn, userCtx) pair published with the launch.
+ */
+struct CheckedLaunch
+{
+    ChunkFn fn;
+    void *ctx;
+};
+
+void
+checkedTrampoline(void *ctx, int64_t b, int64_t e, int slot)
+{
+    auto *launch = static_cast<CheckedLaunch *>(ctx);
+    launch->fn(launch->ctx, b, e, slot);
+    writecheck::LaunchChecker::instance().noteChunk(slot, b, e);
+}
+
+/** One per process: launches never nest (nested calls run inline). */
+CheckedLaunch g_checkedLaunch;
+
 } // namespace
 
 ThreadPool &
@@ -25,7 +49,7 @@ ThreadPool::instance()
 {
     // Leaked, like DeviceManager: workers must outlive every static
     // destructor that might still launch a kernel.
-    static ThreadPool *pool = new ThreadPool();
+    static ThreadPool *pool = new ThreadPool();  // lint:allow leaked singleton
     return *pool;
 }
 
@@ -169,6 +193,19 @@ ThreadPool::run(const char *name, int64_t begin, int64_t end,
     const int width = static_cast<int>(std::min<int64_t>(
         numThreads_, std::min<int64_t>(chunks, kMaxThreads)));
 
+    // Checked builds log every chunk this launch executes and verify
+    // disjointness + exact coverage after the barrier. The wrap is
+    // decided before the launch is published so workers and caller
+    // agree on the trampoline.
+    const bool checked = checksEnabled();
+    if (checked) {
+        writecheck::LaunchChecker::instance().beginLaunch(name, begin,
+                                                          end);
+        g_checkedLaunch = CheckedLaunch{fn, ctx};
+        fn = &checkedTrampoline;
+        ctx = &g_checkedLaunch;
+    }
+
     {
         std::lock_guard<std::mutex> lock(mu_);
         fn_ = fn;
@@ -185,6 +222,20 @@ ThreadPool::run(const char *name, int64_t begin, int64_t end,
             parts_[s].cursor.store(at, std::memory_order_relaxed);
             parts_[s].end = at + len;
             at += len;
+        }
+        if (corruptNextLaunch_) {
+            // Seeded partition race (tests only): rewind slot 1's
+            // cursor one grain into slot 0's territory so one chunk is
+            // claimed twice. The write-set checker must turn this into
+            // a deterministic abort.
+            corruptNextLaunch_ = false;
+            if (width >= 2) {
+                const int64_t rewound = std::max(
+                    begin, parts_[1].cursor.load(
+                               std::memory_order_relaxed) - grain);
+                parts_[1].cursor.store(rewound,
+                                       std::memory_order_relaxed);
+            }
         }
         jobTasks_.store(0, std::memory_order_relaxed);
         jobSteals_.store(0, std::memory_order_relaxed);
@@ -209,6 +260,9 @@ ThreadPool::run(const char *name, int64_t begin, int64_t end,
             return pending_.load(std::memory_order_acquire) == 0;
         });
     }
+
+    if (checked)
+        writecheck::LaunchChecker::instance().endLaunch();
 
     launches.inc();
     taskCount.inc(jobTasks_.load(std::memory_order_relaxed));

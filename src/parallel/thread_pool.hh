@@ -38,6 +38,12 @@
  * Thread count: `GNNPERF_THREADS` (env) else hardware_concurrency;
  * `--threads=N` on run_experiment overrides per run; ThreadScope
  * overrides per scope (tests, benches).
+ *
+ * Checked builds (common/checks.hh): every pooled launch additionally
+ * logs the chunk ranges it executes into the parallel write-set
+ * checker (parallel/write_check.hh) and verifies disjointness and
+ * exact-once coverage after the barrier, so a partitioning bug aborts
+ * deterministically instead of corrupting a reduction.
  */
 
 #ifndef GNNPERF_PARALLEL_THREAD_POOL_HH
@@ -127,6 +133,15 @@ class ThreadPool
             const_cast<void *>(static_cast<const void *>(&fn)));
     }
 
+    /**
+     * Test hook: corrupt the *next* pooled launch by rewinding one
+     * partition cursor so a chunk is claimed twice — the seeded
+     * partition race that proves the write-set checker fires (it
+     * aborts the process in checked builds). One-shot; ignored when
+     * the next launch takes the serial fallback.
+     */
+    void testCorruptNextLaunch() { corruptNextLaunch_ = true; }
+
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
@@ -157,6 +172,7 @@ class ThreadPool
     void workerMain(int worker_index);
 
     int numThreads_ = 1;
+    bool corruptNextLaunch_ = false;
 
     std::mutex mu_;
     std::condition_variable jobCv_;   ///< workers wait for a launch

@@ -1,0 +1,142 @@
+#include "parallel/write_check.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+#include "device/profiler.hh"
+
+namespace gnnperf {
+namespace par {
+namespace writecheck {
+
+namespace {
+
+/**
+ * Kernel/phase/layer attribution for a violation message, from the
+ * same profiler state that stamps trace records — so a checker abort
+ * names the training phase and model layer, not just the kernel.
+ */
+std::string
+attribution(const char *what)
+{
+    Profiler &prof = Profiler::instance();
+    std::string out = what;
+    out += " [phase=";
+    out += phaseName(prof.phase());
+    const int16_t layer = prof.layer();
+    if (layer >= 0 &&
+        layer < static_cast<int16_t>(prof.layerNames().size())) {
+        out += ", layer=";
+        out += prof.layerNames()[static_cast<std::size_t>(layer)];
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace
+
+void
+RangeLog::clear()
+{
+    for (SlotLog &s : slots_)
+        s.ranges.clear();
+}
+
+std::size_t
+RangeLog::rangeCount() const
+{
+    std::size_t n = 0;
+    for (const SlotLog &s : slots_)
+        n += s.ranges.size();
+    return n;
+}
+
+void
+RangeLog::verify(const char *what, int64_t begin, int64_t end,
+                 bool require_cover) const
+{
+    // Gather (range, slot) pairs so the abort can name both writers.
+    struct Noted
+    {
+        Range r;
+        int slot;
+    };
+    std::vector<Noted> all;
+    for (int s = 0; s < kMaxSlots; ++s)
+        for (const Range &r : slots_[s].ranges) {
+            gnnperf_assert(r.begin <= r.end, "write-set checker: ",
+                           attribution(what), " slot ", s,
+                           " noted inverted range [", r.begin, ", ",
+                           r.end, ")");
+            if (r.begin < r.end)
+                all.push_back(Noted{r, s});
+        }
+
+    std::sort(all.begin(), all.end(),
+              [](const Noted &a, const Noted &b) {
+                  if (a.r.begin != b.r.begin)
+                      return a.r.begin < b.r.begin;
+                  return a.r.end < b.r.end;
+              });
+
+    int64_t frontier = begin;
+    int prev_slot = -1;
+    for (const Noted &n : all) {
+        if (n.r.begin < frontier) {
+            gnnperf_panic(
+                "write-set checker: overlapping writes in ",
+                attribution(what), ": slot ", n.slot, " wrote [",
+                n.r.begin, ", ", n.r.end, ") but slot ", prev_slot,
+                " had already written up to ", frontier,
+                " — partition race (double-claimed chunk or stray "
+                "scatter)");
+        }
+        if (require_cover && n.r.begin > frontier) {
+            gnnperf_panic("write-set checker: coverage gap in ",
+                          attribution(what), ": [", frontier, ", ",
+                          n.r.begin, ") was never written");
+        }
+        frontier = std::max(frontier, n.r.end);
+        prev_slot = n.slot;
+    }
+    gnnperf_assert(frontier <= end, "write-set checker: ",
+                   attribution(what), " wrote up to ", frontier,
+                   " past the declared domain end ", end);
+    if (require_cover) {
+        gnnperf_assert(
+            frontier == end && begin <= end,
+            "write-set checker: coverage gap in ", attribution(what),
+            ": [", frontier, ", ", end, ") was never written");
+    }
+}
+
+LaunchChecker &
+LaunchChecker::instance()
+{
+    // Leaked like the pool itself: launches can happen during static
+    // destruction.
+    static LaunchChecker *checker = new LaunchChecker();  // lint:allow leaked singleton
+    return *checker;
+}
+
+void
+LaunchChecker::beginLaunch(const char *name, int64_t begin, int64_t end)
+{
+    log_.clear();
+    name_ = name;
+    begin_ = begin;
+    end_ = end;
+}
+
+void
+LaunchChecker::endLaunch()
+{
+    // Chunks are execution ranges: the pool must run every index of
+    // the launch domain exactly once, so coverage is always required.
+    log_.verify(name_, begin_, end_, /*require_cover=*/true);
+}
+
+} // namespace writecheck
+} // namespace par
+} // namespace gnnperf

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Parallel write-set checker: structural verification of kernel
+ * partitioning in checked builds.
+ *
+ * Every deterministic-parallel kernel in this repo relies on the same
+ * unwritten contract: the chunks of one parallelFor launch write
+ * disjoint slices of the output, and together they write all of it
+ * exactly once. A partitioning bug (an off-by-one in the per-slot
+ * ranges, a double-claimed chunk after a cursor rewind, a scatter that
+ * strays outside its output range) silently breaks the bit-identical-
+ * at-every-width guarantee — the worst kind of race, because the
+ * numbers still look plausible.
+ *
+ * In checked builds (common/checks.hh) this module turns the contract
+ * into a deterministic abort:
+ *
+ *  - **Chunk coverage (automatic).** The thread pool logs every chunk
+ *    [b, e) a launch executes into a lock-free per-slot range log.
+ *    After the barrier, the verifier sorts the ranges and asserts they
+ *    are pairwise disjoint and cover [begin, end) exactly — proving
+ *    every index was processed exactly once, at every width, for every
+ *    parallelFor/grainFor launch in the process, with no kernel
+ *    cooperation needed.
+ *  - **Declared write-sets (kernel-assisted).** Kernels whose writes
+ *    are *derived* from the launch domain (edge_softmax writes edges
+ *    while iterating nodes, segment broadcast writes row ranges from
+ *    the segment pointer) open a WriteSet over the *output* domain and
+ *    note the ranges they actually write; the destructor runs the same
+ *    disjointness/coverage verification. A chunk that writes a row
+ *    owned by another chunk dies with kernel/phase/layer attribution
+ *    instead of corrupting a reduction.
+ *
+ * When checks are off every entry point is a branch on a plain bool:
+ * no logs, no atomics, byte-identical stats and numerics.
+ */
+
+#ifndef GNNPERF_PARALLEL_WRITE_CHECK_HH
+#define GNNPERF_PARALLEL_WRITE_CHECK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/checks.hh"
+
+namespace gnnperf {
+namespace par {
+
+namespace writecheck {
+
+/** One noted half-open index range. */
+struct Range
+{
+    int64_t begin = 0;
+    int64_t end = 0;
+};
+
+/**
+ * Per-slot range logs for one launch. Each slot's log is only ever
+ * appended by the thread currently running that slot, so recording
+ * needs no synchronisation; verification happens after the barrier,
+ * when all writers are done.
+ */
+class RangeLog
+{
+  public:
+    /** Must match ThreadPool::kMaxThreads. */
+    static constexpr int kMaxSlots = 64;
+
+    /** Drop all noted ranges (start of a launch / WriteSet). */
+    void clear();
+
+    /** Note that `slot` executed/wrote [b, e). */
+    void
+    note(int slot, int64_t b, int64_t e)
+    {
+        slots_[slot].ranges.push_back(Range{b, e});
+    }
+
+    /**
+     * Verify the noted ranges are pairwise disjoint and — when
+     * `require_cover` — exactly cover [begin, end). Panics with
+     * `what` plus the active profiler phase/layer on violation.
+     */
+    void verify(const char *what, int64_t begin, int64_t end,
+                bool require_cover) const;
+
+    /** Total noted ranges (test introspection). */
+    std::size_t rangeCount() const;
+
+  private:
+    /** Padded so two slots never share a cache line. */
+    struct alignas(64) SlotLog
+    {
+        std::vector<Range> ranges;
+    };
+
+    SlotLog slots_[kMaxSlots];
+};
+
+/**
+ * The launch-scoped checker behind the thread pool's automatic chunk
+ * coverage. The pool calls begin/note/end around every checked
+ * parallel launch; launches never nest (nested parallelFor falls back
+ * to the inline serial path), so one process-wide instance suffices.
+ */
+class LaunchChecker
+{
+  public:
+    static LaunchChecker &instance();
+
+    void beginLaunch(const char *name, int64_t begin, int64_t end);
+
+    void
+    noteChunk(int slot, int64_t b, int64_t e)
+    {
+        log_.note(slot, b, e);
+    }
+
+    /** Post-barrier: verify disjointness + exact coverage. */
+    void endLaunch();
+
+  private:
+    LaunchChecker() = default;
+
+    RangeLog log_;
+    const char *name_ = "?";
+    int64_t begin_ = 0;
+    int64_t end_ = 0;
+};
+
+} // namespace writecheck
+
+/**
+ * Kernel-declared output write-set over [0, domain) — for kernels
+ * whose written indices differ from the launch's iteration domain.
+ * Open before the launch, call note(slot, b, e) for every range the
+ * chunk writes, and the destructor verifies disjointness (and exact
+ * coverage unless requireCover(false) was called) when checks are on.
+ * A no-op shell when checks are off.
+ *
+ *     par::WriteSet ws("edge_softmax", in_index.numEdges());
+ *     par::parallelFor(... [&](int64_t vb, int64_t ve, int slot) {
+ *         ...
+ *         ws.note(slot, e, e + 1);   // for every edge written
+ *     });
+ *     // ~WriteSet verifies every edge written exactly once
+ */
+class WriteSet
+{
+  public:
+    WriteSet(const char *what, int64_t domain)
+        : what_(what), domain_(domain), active_(checksEnabled())
+    {
+        if (active_)
+            log_.clear();
+    }
+
+    ~WriteSet()
+    {
+        if (active_)
+            log_.verify(what_, 0, domain_, cover_);
+    }
+
+    WriteSet(const WriteSet &) = delete;
+    WriteSet &operator=(const WriteSet &) = delete;
+
+    /**
+     * Kernels that legitimately leave part of the domain unwritten
+     * (scatter_max rows with no incoming edges) keep the disjointness
+     * check but drop the coverage requirement.
+     */
+    void requireCover(bool on) { cover_ = on; }
+
+    /** Note that `slot` wrote [b, e) of the output domain. */
+    void
+    note(int slot, int64_t b, int64_t e)
+    {
+        if (active_)
+            log_.note(slot, b, e);
+    }
+
+    /** Whether this write-set is recording (checks on). */
+    bool active() const { return active_; }
+
+  private:
+    writecheck::RangeLog log_;
+    const char *what_;
+    int64_t domain_;
+    bool active_;
+    bool cover_ = true;
+};
+
+} // namespace par
+} // namespace gnnperf
+
+#endif // GNNPERF_PARALLEL_WRITE_CHECK_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared test main: RUN_ALL_TESTS plus a process-exit memory audit.
+ *
+ * Every test binary links this instead of gtest_main. The audit is
+ * registered with atexit() *before* any test runs: every function-
+ * local static a test constructs afterwards (cached datasets, kernel
+ * scratch workspaces) registers its destructor later and is therefore
+ * destroyed earlier, so intentional static caches are gone by the
+ * time the audit fires and only true leaks survive to it:
+ *
+ *  1. Workspace::releaseAll() — drain any still-registered kernel
+ *     scratch so it cannot mask a real leak;
+ *  2. DeviceManager::checkGuards() — verify the poison fill of every
+ *     cached block (checked builds; a no-op set of sweeps otherwise);
+ *  3. MemoryStats::leakCheck(0) on both devices — any MemoryBlock
+ *     still live is a leak and aborts the binary, so a test that
+ *     forgets to release storage fails even when its assertions pass.
+ *
+ * See docs/CORRECTNESS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "device/device.hh"
+#include "graph/workspace.hh"
+
+namespace {
+
+void
+exitAudit()
+{
+    gnnperf::Workspace::releaseAll();
+    gnnperf::DeviceManager &dm = gnnperf::DeviceManager::instance();
+    dm.checkGuards();
+    dm.stats(gnnperf::DeviceKind::Host).leakCheck(0, "test process (host)");
+    dm.stats(gnnperf::DeviceKind::Cuda).leakCheck(0, "test process (cuda)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    std::atexit(exitAudit);
+    return RUN_ALL_TESTS();
+}

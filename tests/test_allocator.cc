@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/checks.hh"
 #include "device/allocator.hh"
 #include "device/device.hh"
 #include "tensor/tensor.hh"
@@ -14,6 +17,34 @@
 using namespace gnnperf;
 
 namespace {
+
+/** Pin the runtime check level for one test, restoring it on exit. */
+class ChecksScope
+{
+  public:
+    explicit ChecksScope(bool on) : saved_(checksEnabled())
+    {
+        setChecksEnabled(on);
+    }
+    ~ChecksScope() { setChecksEnabled(saved_); }
+
+  private:
+    bool saved_;
+};
+
+/**
+ * Backing capacity the caching allocator reserves for `bytes`: in
+ * checked builds the redzones ride inside the quantum-rounded size.
+ */
+std::size_t
+cachedCapacity(std::size_t bytes)
+{
+    const std::size_t guard =
+        checksEnabled() ? Allocator::kRedzone : 0;
+    const std::size_t n = std::max<std::size_t>(bytes + 2 * guard, 1);
+    return (n + CachingAllocator::kQuantum - 1) /
+           CachingAllocator::kQuantum * CachingAllocator::kQuantum;
+}
 
 /** Restore the process-wide allocator selection at scope exit. */
 class AllocatorGuard
@@ -45,10 +76,13 @@ TEST(DirectAllocator, ReservedEqualsLiveAndEveryAcquireHitsDevice)
     const std::size_t reserved0 = s.reservedBytes;
     const std::size_t backing0 = s.allocCount;
 
+    // Checked builds reserve an extra redzone pair per block; the
+    // logical (Fig. 4) bytes never include guards.
+    const std::size_t g = checksEnabled() ? Allocator::kRedzone : 0;
     MemoryBlock *a = alloc.allocate(1000);
     MemoryBlock *b = alloc.allocate(2000);
     EXPECT_EQ(s.currentBytes, live0 + 3000);
-    EXPECT_EQ(s.reservedBytes, reserved0 + 3000);
+    EXPECT_EQ(s.reservedBytes, reserved0 + 3000 + 4 * g);
     EXPECT_EQ(s.allocCount, backing0 + 2);
     alloc.release(a);
     alloc.release(b);
@@ -108,17 +142,18 @@ TEST(CachingAllocator, SplitsLargeCachedBlock)
     MemoryBlock *big = alloc.allocate(4096);
     char *base = big->ptr;
     alloc.release(big);
-    EXPECT_EQ(alloc.cachedBytes(), 4096u);
+    EXPECT_EQ(alloc.cachedBytes(), cachedCapacity(4096));
 
     const std::size_t splits0 = s.splitCount;
     const std::size_t backing0 = s.allocCount;
     MemoryBlock *small1 = alloc.allocate(512);
     MemoryBlock *small2 = alloc.allocate(512);
     EXPECT_EQ(small1->ptr, base);
-    EXPECT_EQ(small2->ptr, base + 512);
+    EXPECT_EQ(small2->ptr, base + cachedCapacity(512));
     EXPECT_EQ(s.splitCount, splits0 + 2);
     EXPECT_EQ(s.allocCount, backing0); // no new backing allocation
-    EXPECT_EQ(alloc.cachedBytes(), 4096u - 1024u);
+    EXPECT_EQ(alloc.cachedBytes(),
+              cachedCapacity(4096) - 2 * cachedCapacity(512));
 
     alloc.release(small1);
     alloc.release(small2);
@@ -127,6 +162,11 @@ TEST(CachingAllocator, SplitsLargeCachedBlock)
 
 TEST(CachingAllocator, CoalescesFreedNeighboursBackToOneSegment)
 {
+    // This choreography depends on unchecked geometry: with redzones
+    // the third 512-byte acquire no longer fits the 2048 segment and
+    // spills to a fresh one. Guarded split/coalesce behaviour is
+    // covered by test_allocator_guard.cc.
+    ChecksScope checks(false);
     CachingAllocator alloc(DeviceKind::Cuda);
     MemoryStats &s = cudaStats();
 
@@ -173,7 +213,7 @@ TEST(CachingAllocator, TrimDropsBlocksUnusedForAFullGeneration)
 
     // A block survives the first trim after its last use...
     alloc.trim();
-    EXPECT_EQ(alloc.cachedBytes(), 1024u);
+    EXPECT_EQ(alloc.cachedBytes(), cachedCapacity(1024));
     // ...and is dropped by the next one if it stayed unused.
     alloc.trim();
     EXPECT_EQ(alloc.cachedBytes(), 0u);
@@ -189,7 +229,7 @@ TEST(CachingAllocator, TrimKeepsRecentlyReusedBlocks)
     MemoryBlock *b = alloc.allocate(1024);
     alloc.release(b);
     alloc.trim();
-    EXPECT_EQ(alloc.cachedBytes(), 1024u);
+    EXPECT_EQ(alloc.cachedBytes(), cachedCapacity(1024));
     alloc.emptyCache();
 }
 

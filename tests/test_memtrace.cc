@@ -9,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
+#include "common/checks.hh"
 #include "device/allocator.hh"
 #include "device/device.hh"
 #include "device/profiler.hh"
@@ -20,6 +22,20 @@
 using namespace gnnperf;
 
 namespace {
+
+/**
+ * Backing capacity the caching allocator reserves for `bytes`: in
+ * checked builds the redzones ride inside the quantum-rounded size.
+ */
+std::size_t
+cachedCapacity(std::size_t bytes)
+{
+    const std::size_t guard =
+        checksEnabled() ? Allocator::kRedzone : 0;
+    const std::size_t n = std::max<std::size_t>(bytes + 2 * guard, 1);
+    return (n + CachingAllocator::kQuantum - 1) /
+           CachingAllocator::kQuantum * CachingAllocator::kQuantum;
+}
 
 /** Window maximum of one device's levels after its last ResetPeak. */
 struct WindowMax
@@ -192,15 +208,17 @@ TEST_F(MemTraceTest, SplitAndCoalesceEventsRecorded)
     const auto events = mt.events();
     ASSERT_EQ(countKind(events, MemEventKind::Split), 1u);
     ASSERT_EQ(countKind(events, MemEventKind::Coalesce), 1u);
+    const std::size_t tail =
+        cachedCapacity(4096) - cachedCapacity(512);
     for (const MemEvent &ev : events) {
         if (ev.kind == MemEventKind::Split) {
-            EXPECT_EQ(ev.bytes, 4096u - 512u);
+            EXPECT_EQ(ev.bytes, tail);
         }
         if (ev.kind == MemEventKind::Coalesce) {
-            EXPECT_EQ(ev.bytes, 4096u - 512u);
+            EXPECT_EQ(ev.bytes, tail);
         }
         if (ev.kind == MemEventKind::EmptyCache) {
-            EXPECT_EQ(ev.bytes, 4096u);
+            EXPECT_EQ(ev.bytes, cachedCapacity(4096));
         }
     }
 }
@@ -224,7 +242,7 @@ TEST_F(MemTraceTest, TrimEventCarriesFreedBytes)
             trims.push_back(ev.bytes);
     ASSERT_EQ(trims.size(), 2u);
     EXPECT_EQ(trims[0], 0u);
-    EXPECT_EQ(trims[1], 2048u);
+    EXPECT_EQ(trims[1], cachedCapacity(2048));
 }
 
 TEST_F(MemTraceTest, MidRunResetPeakStartsNewWindow)
@@ -318,10 +336,10 @@ TEST_F(MemTraceTest, EventNamesCoverEveryKind)
 {
     // Exhaustive: a new enum value must get a name and a bump of
     // kNumMemEventKinds before this passes again.
-    EXPECT_EQ(kNumMemEventKinds, 7);
+    EXPECT_EQ(kNumMemEventKinds, 8);
     const char *expected[kNumMemEventKinds] = {
         "alloc",    "free", "split",      "coalesce",
-        "trim",     "empty_cache", "reset_peak",
+        "trim",     "empty_cache", "reset_peak", "guard_violation",
     };
     for (int i = 0; i < kNumMemEventKinds; ++i) {
         EXPECT_STREQ(memEventName(static_cast<MemEventKind>(i)),

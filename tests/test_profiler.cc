@@ -38,7 +38,7 @@ class ProfilerFixture : public ::testing::Test
 TEST_F(ProfilerFixture, DisabledProfilerRecordsNothing)
 {
     Profiler::instance().setEnabled(false);
-    recordKernel("k", 1.0, 1.0);
+    recordKernel("sgemm", 1.0, 1.0);
     recordHost("h", HostOpKind::Memcpy, 1.0, 1.0);
     EXPECT_TRUE(Profiler::instance().trace().empty());
 }
@@ -47,9 +47,9 @@ TEST_F(ProfilerFixture, RecordsCarryPhase)
 {
     {
         PhaseScope phase(Phase::Forward);
-        recordKernel("k", 1.0, 1.0);
+        recordKernel("sgemm", 1.0, 1.0);
     }
-    recordKernel("k2", 1.0, 1.0);
+    recordKernel("relu", 1.0, 1.0);
     const auto &entries = Profiler::instance().trace().entries();
     ASSERT_EQ(entries.size(), 2u);
     EXPECT_EQ(entries[0].kernel.phase, Phase::Forward);
@@ -70,14 +70,14 @@ TEST_F(ProfilerFixture, LayerScopesInternAndRestore)
 {
     {
         LayerScope conv1("conv1");
-        recordKernel("a", 1.0, 1.0);
+        recordKernel("sgemm", 1.0, 1.0);
         {
             LayerScope conv2("conv2");
-            recordKernel("b", 1.0, 1.0);
+            recordKernel("relu", 1.0, 1.0);
         }
-        recordKernel("c", 1.0, 1.0);
+        recordKernel("add", 1.0, 1.0);
     }
-    recordKernel("d", 1.0, 1.0);
+    recordKernel("tanh", 1.0, 1.0);
     const auto &prof = Profiler::instance();
     ASSERT_EQ(prof.layerNames().size(), 2u);
     const auto &entries = prof.trace().entries();
@@ -109,7 +109,7 @@ TEST_F(ProfilerFixture, ScopesUnwindOnException)
     } catch (const std::runtime_error &) {
     }
     EXPECT_EQ(Profiler::instance().phase(), Phase::Other);
-    recordKernel("after", 1.0, 1.0);
+    recordKernel("sgemm", 1.0, 1.0);
     const auto &entries = Profiler::instance().trace().entries();
     ASSERT_EQ(entries.size(), 1u);
     EXPECT_EQ(entries[0].kernel.layer, -1);
@@ -118,8 +118,8 @@ TEST_F(ProfilerFixture, ScopesUnwindOnException)
 
 TEST_F(ProfilerFixture, TraceAggregates)
 {
-    recordKernel("a", 10.0, 100.0);
-    recordKernel("b", 20.0, 200.0);
+    recordKernel("sgemm", 10.0, 100.0);
+    recordKernel("relu", 20.0, 200.0);
     recordHost("h", HostOpKind::Memcpy, 50.0, 1.0);
     const Trace &trace = Profiler::instance().trace();
     EXPECT_EQ(trace.size(), 3u);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -104,6 +105,32 @@ TEST_F(StatsTest, DistributionBucketMath)
     // The tail bucket absorbs everything >= 2^31.
     EXPECT_EQ(stats::Distribution::bucketIndex(1e300),
               stats::Distribution::kNumBuckets - 1);
+}
+
+TEST_F(StatsTest, DistributionBucketsNonFiniteSamples)
+{
+    // Regression: ilogb(+inf) is INT_MAX, so the pre-clamp bucket math
+    // `1 + ilogb(v)` was signed overflow (UB, caught by UBSan) for
+    // infinite samples. Infinities belong in the tail bucket; NaN
+    // fails the `v >= 1` test and lands in bucket 0.
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(stats::Distribution::bucketIndex(inf),
+              stats::Distribution::kNumBuckets - 1);
+    EXPECT_EQ(stats::Distribution::bucketIndex(-inf), 0);
+    EXPECT_EQ(stats::Distribution::bucketIndex(
+                  std::numeric_limits<double>::quiet_NaN()),
+              0);
+    EXPECT_EQ(stats::Distribution::bucketIndex(
+                  std::numeric_limits<double>::max()),
+              stats::Distribution::kNumBuckets - 1);
+
+    stats::Distribution &d = stats::distribution("test.nonfinite_dist");
+    stats::setSamplingEnabled(true);
+    d.sample(inf);
+    d.sample(2.0);
+    stats::Distribution::Snapshot s = d.snapshot();
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_EQ(s.buckets[stats::Distribution::kNumBuckets - 1], 1u);
 }
 
 TEST_F(StatsTest, DistributionMoments)

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Parallel write-set checker tests: the RangeLog verifier's
+ * disjointness/coverage semantics, the WriteSet no-op contract when
+ * checks are off, the kernel-declared write-sets running clean on real
+ * kernels, and — the load-bearing negative — a seeded partition race
+ * that the pool-level chunk checker must turn into a deterministic
+ * abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/checks.hh"
+#include "common/random.hh"
+#include "device/kernel_registry.hh"
+#include "device/profiler.hh"
+#include "graph/edge_softmax.hh"
+#include "graph/graph.hh"
+#include "graph/scatter.hh"
+#include "graph/segment.hh"
+#include "parallel/thread_pool.hh"
+#include "parallel/write_check.hh"
+#include "tensor/init.hh"
+
+using namespace gnnperf;
+using namespace gnnperf::graphops;
+
+namespace {
+
+/** RAII check-level override; restores the previous level on exit. */
+class ChecksScope
+{
+  public:
+    explicit ChecksScope(bool on) : prev_(checksEnabled())
+    {
+        setChecksEnabled(on);
+    }
+    ~ChecksScope() { setChecksEnabled(prev_); }
+
+  private:
+    bool prev_;
+};
+
+/** A small line graph with in-CSR incidence for the kernel tests. */
+CsrIndex
+lineGraphIn(int64_t n)
+{
+    std::vector<int64_t> src, dst;
+    for (int64_t i = 0; i + 1 < n; ++i) {
+        src.push_back(i);
+        dst.push_back(i + 1);
+    }
+    return buildInIndex(n, src, dst);
+}
+
+} // namespace
+
+TEST(RangeLog, DisjointCoverPasses)
+{
+    par::writecheck::RangeLog log;
+    log.note(0, 0, 10);
+    log.note(1, 10, 25);
+    log.note(0, 25, 40);
+    log.verify("ok", 0, 40, /*require_cover=*/true);
+    EXPECT_EQ(log.rangeCount(), 3u);
+}
+
+TEST(RangeLog, EmptyDomainPasses)
+{
+    par::writecheck::RangeLog log;
+    log.verify("empty", 0, 0, /*require_cover=*/true);
+}
+
+TEST(RangeLog, OverlapDies)
+{
+    par::writecheck::RangeLog log;
+    log.note(0, 0, 10);
+    log.note(1, 5, 15);
+    EXPECT_DEATH(log.verify("overlap", 0, 15, true),
+                 "overlapping writes");
+}
+
+TEST(RangeLog, SameSlotOverlapDies)
+{
+    par::writecheck::RangeLog log;
+    log.note(2, 0, 10);
+    log.note(2, 9, 20);
+    EXPECT_DEATH(log.verify("overlap", 0, 20, false),
+                 "overlapping writes");
+}
+
+TEST(RangeLog, CoverageGapDies)
+{
+    par::writecheck::RangeLog log;
+    log.note(0, 0, 10);
+    log.note(1, 12, 20);
+    EXPECT_DEATH(log.verify("gap", 0, 20, true), "coverage gap");
+}
+
+TEST(RangeLog, TrailingGapDies)
+{
+    par::writecheck::RangeLog log;
+    log.note(0, 0, 10);
+    EXPECT_DEATH(log.verify("gap", 0, 20, true), "coverage gap");
+}
+
+TEST(RangeLog, GapAllowedWithoutCoverRequirement)
+{
+    par::writecheck::RangeLog log;
+    log.note(0, 0, 10);
+    log.note(1, 12, 20);
+    log.verify("sparse", 0, 20, /*require_cover=*/false);
+}
+
+TEST(RangeLog, PastDomainEndDies)
+{
+    par::writecheck::RangeLog log;
+    log.note(0, 0, 25);
+    EXPECT_DEATH(log.verify("past-end", 0, 20, false),
+                 "past the declared domain end");
+}
+
+TEST(WriteSet, InactiveWhenChecksOff)
+{
+    ChecksScope checks(false);
+    par::WriteSet ws("off", 100);
+    EXPECT_FALSE(ws.active());
+    // Overlapping notes are dropped, destructor verifies nothing.
+    ws.note(0, 0, 60);
+    ws.note(1, 40, 100);
+}
+
+TEST(WriteSet, OverlapDiesWhenChecksOn)
+{
+    ChecksScope checks(true);
+    EXPECT_DEATH(
+        {
+            par::WriteSet ws("ws-overlap", 100);
+            ws.note(0, 0, 60);
+            ws.note(1, 40, 100);
+        },
+        "overlapping writes");
+}
+
+TEST(WriteSet, SparseDomainPassesWithoutCover)
+{
+    ChecksScope checks(true);
+    par::WriteSet ws("ws-sparse", 100);
+    ws.requireCover(false);
+    ws.note(0, 10, 20);
+    ws.note(1, 50, 60);
+}
+
+TEST(WriteCheckedLaunch, PooledLaunchRunsCleanWithChecksOn)
+{
+    ChecksScope checks(true);
+    par::ThreadScope threads(4);
+    std::atomic<int64_t> sum{0};
+    par::parallelFor("par.test_clean", 0, 1000, 16,
+                     [&](int64_t b, int64_t e, int) {
+                         sum.fetch_add(e - b,
+                                       std::memory_order_relaxed);
+                     });
+    EXPECT_EQ(sum.load(), 1000);
+}
+
+TEST(WriteCheckedLaunch, SeededPartitionRaceAborts)
+{
+    // The one bug class the checker exists for: a double-claimed
+    // chunk. testCorruptNextLaunch rewinds one partition cursor a
+    // grain into its neighbour's territory; the post-barrier verifier
+    // must abort instead of letting the launch run a chunk twice.
+    //
+    // The default fork-style death test would inherit the parent's
+    // pool bookkeeping without its worker threads and deadlock on the
+    // barrier; the re-exec style spawns a fresh pool in the child.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            setChecksEnabled(true);
+            par::ThreadScope threads(2);
+            par::ThreadPool::instance().testCorruptNextLaunch();
+            par::parallelFor("par.test_seeded_race", 0, 400, 10,
+                             [&](int64_t, int64_t, int) {});
+        },
+        "overlapping writes");
+}
+
+TEST(WriteCheckedLaunch, SeededRaceRunsSilentlyWithChecksOff)
+{
+    // Same corruption, checks off: the double-run chunk is invisible
+    // (this is exactly why checked builds exist). The launch must
+    // still complete; the chunk sum exceeds the domain by the
+    // double-claimed grain.
+    ChecksScope checks(false);
+    par::ThreadScope threads(2);
+    par::ThreadPool::instance().testCorruptNextLaunch();
+    std::atomic<int64_t> sum{0};
+    par::parallelFor("par.test_seeded_race_off", 0, 400, 10,
+                     [&](int64_t b, int64_t e, int) {
+                         sum.fetch_add(e - b,
+                                       std::memory_order_relaxed);
+                     });
+    EXPECT_EQ(sum.load(), 410);
+}
+
+TEST(KernelWriteSets, EdgeSoftmaxRunsCleanUnderChecks)
+{
+    ChecksScope checks(true);
+    par::ThreadScope threads(4);
+    const CsrIndex in = lineGraphIn(64);
+    Rng rng(7);
+    Tensor logits = init::normal({in.numEdges(), 4}, 0.0f, 1.0f, rng);
+    Tensor alpha = edgeSoftmaxFused(in, logits);
+    Tensor grad = init::normal({in.numEdges(), 4}, 0.0f, 1.0f, rng);
+    edgeSoftmaxBackwardFused(in, alpha, grad);
+}
+
+TEST(KernelWriteSets, SegmentAndScatterRunCleanUnderChecks)
+{
+    ChecksScope checks(true);
+    par::ThreadScope threads(4);
+    Rng rng(9);
+    Tensor x = init::normal({40, 8}, 0.0f, 1.0f, rng);
+    const std::vector<int64_t> ptr = {0, 5, 5, 17, 40};
+    Tensor pooled = segmentMean(x, ptr);
+    segmentMeanBackward(pooled, ptr);
+
+    std::vector<int64_t> idx(40);
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = static_cast<int64_t>(i) % 7;
+    std::vector<int64_t> argmax;
+    // 11 rows, rows 7..10 have no incoming index: the sparse path.
+    scatterMaxRows(x, idx, 11, argmax);
+}
+
+TEST(KernelRegistry, KnownNamesAreRegistered)
+{
+    EXPECT_TRUE(kernelRegistered("sgemm"));
+    EXPECT_TRUE(kernelRegistered("edge_softmax"));
+    EXPECT_TRUE(kernelRegistered("gspmm_copy_u_sum"));
+    EXPECT_FALSE(kernelRegistered("no_such_kernel"));
+    EXPECT_GT(numRegisteredKernels(), 50u);
+}
+
+TEST(KernelRegistry, UnregisteredRecordDiesUnderChecks)
+{
+    EXPECT_DEATH(
+        {
+            setChecksEnabled(true);
+            recordKernel("no_such_kernel", 1.0, 1.0);
+        },
+        "not in the kernel registry");
+}
+
+TEST(KernelRegistry, UnregisteredRecordIgnoredWithChecksOff)
+{
+    ChecksScope checks(false);
+    // Tracing is off too, so this is the release-build hot path: one
+    // branch, no name validation.
+    recordKernel("no_such_kernel", 1.0, 1.0);
+}
