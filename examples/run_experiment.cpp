@@ -13,7 +13,7 @@
  *                  [--allocator direct|caching]
  *                  [--stats-out FILE] [--events-out FILE]
  *                  [--roofline-out FILE] [--bench-out FILE]
- *                  [--trace-out FILE]
+ *                  [--trace-out FILE] [--hwprof[=sw]] [--version]
  *
  * Both frameworks are always run and compared side by side, as in the
  * paper's tables. Flags accept both `--key value` and `--key=value`.
@@ -49,6 +49,19 @@
  * equivalent (the flag wins when both are set). Inspect or merge the
  * files with tools/gnnperf_trace.
  *
+ * --hwprof turns on the hardware-counter profiler (obs/hwprof.hh):
+ * roofline output gains Measured columns (IPC, cache-miss rate, an
+ * empirical bound class) and a modeled-vs-measured agreement verdict
+ * per kernel, stats/BENCH JSONs gain hwprof.* series, and the trace
+ * gains pid-4 counter tracks. --hwprof=sw forces the software
+ * fallback tier (rusage + /proc); when perf_event_open is denied the
+ * profiler falls back to it automatically and never fails the run.
+ * GNNPERF_HWPROF=1|sw is the env equivalent (the flag wins). All
+ * non-hwprof numerics are byte-identical with the profiler on or off.
+ *
+ * --version prints build provenance (git, compiler, build type,
+ * sanitizers) and exits.
+ *
  * Examples:
  *   run_experiment --task node --model GAT --dataset cora --epochs 100
  *   run_experiment --task graph --model GatedGCN --dataset enzymes \
@@ -65,6 +78,7 @@
 #include <map>
 #include <string>
 
+#include "common/buildinfo.hh"
 #include "common/fs.hh"
 #include "common/logging.hh"
 #include "common/string_utils.hh"
@@ -74,6 +88,7 @@
 #include "device/trace_export.hh"
 #include "obs/diff.hh"
 #include "obs/exec_trace.hh"
+#include "obs/hwprof.hh"
 #include "obs/roofline.hh"
 #include "obs/stats.hh"
 #include "obs/stats_export.hh"
@@ -96,7 +111,8 @@ parseArgs(int argc, char **argv)
         const std::size_t eq = key.find('=');
         if (eq != std::string::npos) {
             args[key.substr(0, eq)] = key.substr(eq + 1);
-        } else if (key == "verbose") {
+        } else if (key == "verbose" || key == "hwprof" ||
+                   key == "version") {
             args[key] = "1";
         } else {
             if (i + 1 >= argc)
@@ -129,6 +145,9 @@ writeStatsOutputs(const std::map<std::string, std::string> &args)
 {
     const std::string stats_path = get(args, "stats-out", "");
     const std::string events_path = get(args, "events-out", "");
+    // Mirror the counter totals into hwprof.* gauges so the stats
+    // snapshot carries them (no-op with the profiler off).
+    hwprof::publishStats();
     if (!stats_path.empty()) {
         writeFile(stats_path, stats::statsToJson());
         std::printf("wrote %s\n", stats_path.c_str());
@@ -144,6 +163,16 @@ void
 writeRooflineOutputs(const std::string &path,
                      const std::vector<RooflineReport> &suite)
 {
+    // State the counter tier up front so a fallback run says so in
+    // the report (acceptance criterion for denied perf_event_open).
+    for (const auto &report : suite) {
+        if (report.hwprofTier != hwprof::Tier::Off) {
+            std::printf("hwprof: %s tier — %s\n",
+                        hwprof::tierName(report.hwprofTier),
+                        report.hwprofTierReason.c_str());
+            break;
+        }
+    }
     std::printf("%s\n", renderRooflineTable(suite).c_str());
     for (const auto &report : suite) {
         std::printf("%s\n%s\n", report.label.c_str(),
@@ -182,8 +211,21 @@ writeBenchOutput(const std::string &path, const std::string &bench_name,
     appendStatsSeries(series);
     appendAllocatorSeries(series);
     appendParallelSeries(series);
+    appendHwprofSeries(series);
     writeFile(path, diff::baselineToJson(bench_name, series));
     std::printf("wrote %s\n", path.c_str());
+}
+
+/** --hwprof[=MODE], falling back to GNNPERF_HWPROF (flag wins). */
+std::string
+hwprofMode(const std::map<std::string, std::string> &args)
+{
+    auto it = args.find("hwprof");
+    if (it != args.end())
+        return it->second;
+    if (const char *env = std::getenv("GNNPERF_HWPROF"))
+        return env;
+    return "";
 }
 
 /** --trace-out FILE, falling back to GNNPERF_TRACE=FILE. */
@@ -217,6 +259,11 @@ int
 main(int argc, char **argv)
 {
     auto args = parseArgs(argc, argv);
+    if (args.count("version") > 0) {
+        std::printf("%s\n",
+                    buildinfo::versionLine("run_experiment").c_str());
+        return 0;
+    }
     const std::string task = get(args, "task", "graph");
     const ModelKind model =
         modelKindFromName(get(args, "model", "GCN"));
@@ -242,6 +289,9 @@ main(int argc, char **argv)
     const std::string trace_path = tracePath(args);
     if (!trace_path.empty())
         ExecTrace::instance().enable();
+    // Counter profiling starts before the dataset too, so warm-up
+    // faults land in the aggregates rather than the first kernel.
+    hwprof::configure(hwprofMode(args));
 
     if (task == "node") {
         NodeDataset ds;

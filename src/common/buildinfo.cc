@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Provenance implementation. The GNNPERF_GIT_DESCRIBE /
+ * GNNPERF_BUILD_TYPE_STR / GNNPERF_SANITIZERS_STR macros are injected
+ * on this translation unit only (src/CMakeLists.txt), so touching the
+ * git state recompiles one small file, not the tree.
+ */
+
+#include "common/buildinfo.hh"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace gnnperf {
+namespace buildinfo {
+namespace {
+
+struct Facts {
+    std::mutex mu;
+    std::map<std::string, std::string> map;
+};
+
+Facts &facts() {
+    static Facts f;
+    return f;
+}
+
+/** Minimal JSON string escape; provenance values are ASCII-ish. */
+std::string jsonEscape(const std::string &s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string gitDescribe() {
+#ifdef GNNPERF_GIT_DESCRIBE
+    return GNNPERF_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+std::string compilerId() {
+    std::ostringstream os;
+#if defined(__clang__)
+    os << "clang " << __clang_major__ << '.' << __clang_minor__ << '.'
+       << __clang_patchlevel__;
+#elif defined(__GNUC__)
+    os << "gcc " << __GNUC__ << '.' << __GNUC_MINOR__ << '.'
+       << __GNUC_PATCHLEVEL__;
+#else
+    os << "unknown";
+#endif
+    return os.str();
+}
+
+std::string buildType() {
+#ifdef GNNPERF_BUILD_TYPE_STR
+    return GNNPERF_BUILD_TYPE_STR;
+#else
+    return "unknown";
+#endif
+}
+
+std::string sanitizers() {
+#ifdef GNNPERF_SANITIZERS_STR
+    return GNNPERF_SANITIZERS_STR;
+#else
+    return "none";
+#endif
+}
+
+void setRunFact(const std::string &key, const std::string &value) {
+    Facts &f = facts();
+    std::lock_guard<std::mutex> lock(f.mu);
+    f.map[key] = value;
+}
+
+std::string runFact(const std::string &key,
+                    const std::string &fallback) {
+    Facts &f = facts();
+    std::lock_guard<std::mutex> lock(f.mu);
+    auto it = f.map.find(key);
+    return it == f.map.end() ? fallback : it->second;
+}
+
+std::string metaJson() {
+    std::ostringstream os;
+    os << "{\"git\": \"" << jsonEscape(gitDescribe())
+       << "\", \"compiler\": \"" << jsonEscape(compilerId())
+       << "\", \"build_type\": \"" << jsonEscape(buildType())
+       << "\", \"sanitizers\": \"" << jsonEscape(sanitizers())
+       << "\"";
+    Facts &f = facts();
+    std::lock_guard<std::mutex> lock(f.mu);
+    for (const auto &kv : f.map) {
+        os << ", \"" << jsonEscape(kv.first) << "\": \""
+           << jsonEscape(kv.second) << "\"";
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string versionLine(const char *tool) {
+    std::ostringstream os;
+    os << tool << " (gnnperf " << gitDescribe() << ", "
+       << compilerId() << ", " << buildType() << ", sanitizers: "
+       << sanitizers() << ")";
+    return os.str();
+}
+
+} // namespace buildinfo
+} // namespace gnnperf

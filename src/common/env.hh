@@ -25,6 +25,20 @@
  *                           GNNPERF_CSV_DIR (benches). run_experiment
  *                           honours it too; --trace-out wins when
  *                           both are set.
+ *   GNNPERF_ALLOCATOR=caching|direct — Cuda device allocator
+ *                           (device/allocator.hh); --allocator on
+ *                           run_experiment wins.
+ *   GNNPERF_CHECKS=0|1    — runtime switch for the correctness layer
+ *                           (common/checks.hh): write-set race
+ *                           checker, allocator redzones, registry
+ *                           asserts. Wins over the -DGNNPERF_CHECKED
+ *                           build default in both directions.
+ *   GNNPERF_HWPROF=1|sw|0 — hardware-counter profiling tier
+ *                           (obs/hwprof.hh): 1 probes
+ *                           perf_event_open and falls back to the
+ *                           software (rusage) tier when denied; sw
+ *                           forces the software tier; 0/off disables.
+ *                           --hwprof on run_experiment wins.
  */
 
 #ifndef GNNPERF_COMMON_ENV_HH

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "device/multi_gpu.hh"
 #include "device/profiler.hh"
+#include "obs/hwprof.hh"
 #include "nn/loss.hh"
 #include "nn/optimizer.hh"
 
@@ -174,8 +175,13 @@ runGraphRoofline(const GraphDataset &dataset,
                             const std::vector<std::string> &names) {
                     analyzer.addTrace(trace, names);
                 };
+            // Scope measured counters to this config so the Measured
+            // columns line up with exactly this report's launches.
+            hwprof::resetAggregates();
             trainGraphTask(kind, backend, dataset, fold, opts);
-            suite.push_back(analyzer.report());
+            RooflineReport report = analyzer.report();
+            attachMeasuredCounters(report);
+            suite.push_back(std::move(report));
         }
     }
     return suite;
@@ -202,8 +208,11 @@ runNodeRoofline(const NodeDataset &dataset,
                             const std::vector<std::string> &names) {
                     analyzer.addTrace(trace, names);
                 };
+            hwprof::resetAggregates();
             trainNodeTask(kind, backend, dataset, opts);
-            suite.push_back(analyzer.report());
+            RooflineReport report = analyzer.report();
+            attachMeasuredCounters(report);
+            suite.push_back(std::move(report));
         }
     }
     return suite;

@@ -7,6 +7,7 @@
 #include "common/table.hh"
 #include "device/device.hh"
 #include "device/trace_export.hh"
+#include "obs/hwprof.hh"
 #include "obs/stats.hh"
 #include "obs/stats_export.hh"
 #include "parallel/thread_pool.hh"
@@ -310,6 +311,29 @@ appendParallelSeries(
             snap.name == "parallel.tasks")
             series.emplace_back(snap.name, snap.value);
     }
+}
+
+void
+appendHwprofSeries(
+    std::vector<std::pair<std::string, double>> &series)
+{
+    if (!hwprof::enabled())
+        return;
+    const hwprof::Snapshot snap = hwprof::snapshot();
+    const double tier_level =
+        snap.tier == hwprof::Tier::Hardware   ? 2
+        : snap.tier == hwprof::Tier::Software ? 1
+                                              : 0;
+    series.emplace_back("hwprof.tier", tier_level);
+    series.emplace_back("hwprof.windows",
+                        static_cast<double>(snap.total.windows));
+    for (int c = 0; c < hwprof::kNumCounters; ++c) {
+        series.emplace_back(
+            std::string("hwprof.") + hwprof::counterName(c),
+            static_cast<double>(snap.total.sum[c]));
+    }
+    series.emplace_back("hwprof.rss_peak_bytes",
+                        static_cast<double>(snap.rssPeakBytes));
 }
 
 void

@@ -87,6 +87,15 @@ void appendParallelSeries(
     std::vector<std::pair<std::string, double>> &series);
 
 /**
+ * Append the hardware-counter series (`hwprof.*`) to a BENCH series
+ * list. A no-op when the profiler is off, keeping hwprof-off BENCH
+ * JSONs byte-identical; the values are machine-dependent, so gates
+ * diff them with --ignore hwprof.
+ */
+void appendHwprofSeries(
+    std::vector<std::pair<std::string, double>> &series);
+
+/**
  * When GNNPERF_CSV_DIR is set and stats sampling is on, write the
  * registry's JSON snapshot (`<prefix>_stats.json`), per-epoch series
  * CSV (`<prefix>_stats_epochs.csv`) and run-event log

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/buildinfo.hh"
 #include "common/logging.hh"
 #include "device/allocator.hh"
 #include "obs/memtrace.hh"
@@ -136,6 +137,8 @@ DeviceManager::setAllocator(DeviceKind kind, AllocatorKind which)
     PerDevice &d = device(kind);
     d.active = which == AllocatorKind::Direct ? d.direct.get()
                                               : d.caching.get();
+    if (kind == DeviceKind::Cuda)
+        buildinfo::setRunFact("allocator", allocatorName(which));
 }
 
 void

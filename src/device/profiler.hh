@@ -20,6 +20,7 @@
 #include "common/checks.hh"
 #include "device/kernel_registry.hh"
 #include "device/trace.hh"
+#include "obs/hwprof.hh"
 #include "obs/spans.hh"
 
 namespace gnnperf {
@@ -70,6 +71,18 @@ class Profiler
         if (!enabled_)
             return;
         trace_.addKernel(KernelRecord{name, flops, bytes, phase_, layer_});
+        // Hardware-counter attribution shares the kernel window: the
+        // delta since the last window on this thread belongs to this
+        // launch (gate checked again inside; off = relaxed load).
+        if (hwprof::enabled()) {
+            const std::string *layer_name =
+                layer_ >= 0 &&
+                        static_cast<std::size_t>(layer_) <
+                            layerNames_.size()
+                    ? &layerNames_[layer_]
+                    : nullptr;
+            hwprof::onKernelRecord(name, phase_, layer_, layer_name);
+        }
     }
 
     /** Emit a host record (no-op when disabled). */
@@ -113,19 +126,29 @@ class PhaseScope
 {
   public:
     explicit PhaseScope(Phase phase)
-        : prev_(Profiler::instance().phase()),
+        : prev_(Profiler::instance().phase()), cur_(phase),
           span_((Profiler::instance().setPhase(phase),
                  phaseName(phase)))
     {
+        // Close the predecessor's hwprof window at the boundary so
+        // inter-kernel time is booked to the phase that spent it.
+        if (hwprof::enabled())
+            hwprof::onPhaseBoundary(prev_);
     }
 
-    ~PhaseScope() { Profiler::instance().setPhase(prev_); }
+    ~PhaseScope()
+    {
+        if (hwprof::enabled())
+            hwprof::onPhaseBoundary(cur_);
+        Profiler::instance().setPhase(prev_);
+    }
 
     PhaseScope(const PhaseScope &) = delete;
     PhaseScope &operator=(const PhaseScope &) = delete;
 
   private:
     Phase prev_;
+    Phase cur_;
     HostSpan span_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/buildinfo.hh"
 #include "common/string_utils.hh"
 #include "common/table.hh"
 
@@ -188,8 +189,10 @@ baselineToJson(const std::string &bench_name,
                const std::vector<std::pair<std::string, double>> &series)
 {
     std::string out = strprintf("{\n  \"version\": 1,\n"
+                                "  \"meta\": %s,\n"
                                 "  \"bench\": \"%s\",\n"
                                 "  \"series\": {",
+                                buildinfo::metaJson().c_str(),
                                 jsonEscape(bench_name).c_str());
     bool first = true;
     for (const auto &[name, value] : series) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/buildinfo.hh"
 #include "common/string_utils.hh"
 #include "common/table.hh"
 #include "parallel/thread_pool.hh"
@@ -40,6 +41,37 @@ classifyKernel(const KernelRecord &k, const CostModel &model,
     else
         b.cls = BoundClass::Bandwidth;
     return b;
+}
+
+double
+MeasuredGroup::ipc() const
+{
+    return cycles > 0.0 ? instructions / cycles : 0.0;
+}
+
+double
+MeasuredGroup::missRate() const
+{
+    return cacheRefs > 0.0 ? cacheMisses / cacheRefs : 0.0;
+}
+
+BoundClass
+measuredBound(const MeasuredGroup &m)
+{
+    if (m.windows <= 0.0 ||
+        m.instructions / m.windows < kMeasuredDispatchInstrPerWindow)
+        return BoundClass::Dispatch;
+    if (m.missRate() >= kMeasuredBandwidthMissRate)
+        return BoundClass::Bandwidth;
+    return BoundClass::Compute;
+}
+
+const char *
+agreementVerdict(BoundClass modeled, const MeasuredGroup &m)
+{
+    if (!m.valid || !m.hw)
+        return "n/a";
+    return measuredBound(m) == modeled ? "agree" : "disagree";
 }
 
 double
@@ -201,6 +233,81 @@ RooflineAnalyzer::report() const
     return r;
 }
 
+namespace {
+
+MeasuredGroup
+toMeasured(const hwprof::Agg &a)
+{
+    MeasuredGroup m;
+    if (a.windows == 0)
+        return m;
+    m.valid = true;
+    m.hw = a.hwValid;
+    m.windows = static_cast<double>(a.windows);
+    m.instructions = static_cast<double>(a.sum[hwprof::kInstructions]);
+    m.cycles = static_cast<double>(a.sum[hwprof::kCycles]);
+    m.cacheRefs = static_cast<double>(a.sum[hwprof::kCacheRefs]);
+    m.cacheMisses = static_cast<double>(a.sum[hwprof::kCacheMisses]);
+    m.branchMisses =
+        static_cast<double>(a.sum[hwprof::kBranchMisses]);
+    m.stalledCycles =
+        static_cast<double>(a.sum[hwprof::kStalledCycles]);
+    m.minorFaults = static_cast<double>(a.sum[hwprof::kMinorFaults]);
+    m.majorFaults = static_cast<double>(a.sum[hwprof::kMajorFaults]);
+    m.ctxSwitchesVol =
+        static_cast<double>(a.sum[hwprof::kCtxSwitchesVol]);
+    m.ctxSwitchesInvol =
+        static_cast<double>(a.sum[hwprof::kCtxSwitchesInvol]);
+    return m;
+}
+
+void
+attachByName(std::vector<RooflineGroup> &groups,
+             const std::vector<std::pair<std::string, hwprof::Agg>>
+                 &aggs)
+{
+    for (auto &g : groups) {
+        for (const auto &kv : aggs) {
+            if (kv.first == g.name) {
+                g.measured = toMeasured(kv.second);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+attachMeasuredCounters(RooflineReport &report,
+                       const hwprof::Snapshot &snap)
+{
+    if (snap.tier == hwprof::Tier::Off || snap.total.windows == 0)
+        return;
+    report.hwprofTier = snap.tier;
+    report.hwprofTierReason = snap.tierReason;
+    report.total.measured = toMeasured(snap.total);
+    attachByName(report.byKernel, snap.byKernel);
+    attachByName(report.byLayer, snap.byLayer);
+    for (auto &g : report.byPhase) {
+        for (int p = 0; p < kNumPhases; ++p) {
+            if (g.name == phaseName(static_cast<Phase>(p))) {
+                g.measured = toMeasured(
+                    snap.byPhase[static_cast<std::size_t>(p)]);
+                break;
+            }
+        }
+    }
+}
+
+void
+attachMeasuredCounters(RooflineReport &report)
+{
+    if (!hwprof::enabled())
+        return;
+    attachMeasuredCounters(report, hwprof::snapshot());
+}
+
 RooflineReport
 analyzeRoofline(const Trace &trace, const CostModel &model,
                 double dispatch_overhead,
@@ -249,7 +356,33 @@ appendGroupJson(std::string &out, const RooflineGroup &g,
             boundClassName(static_cast<BoundClass>(c)),
             num(g.boundShare(static_cast<BoundClass>(c))).c_str());
     }
-    out += "}}";
+    out += "}";
+    // Measured counters, only when the run carried them: hwprof-off
+    // output stays byte-identical.
+    if (g.measured.valid) {
+        const MeasuredGroup &m = g.measured;
+        out += strprintf(
+            ",\n%s\"hwprof\": {\"windows\": %s, "
+            "\"instructions\": %s, \"cycles\": %s,\n"
+            "%s  \"cache_refs\": %s, \"cache_misses\": %s, "
+            "\"branch_misses\": %s, \"stalled_cycles\": %s,\n"
+            "%s  \"minor_faults\": %s, \"major_faults\": %s, "
+            "\"ctx_switches_vol\": %s, \"ctx_switches_invol\": %s,\n"
+            "%s  \"ipc\": %s, \"miss_rate\": %s, "
+            "\"measured_bound\": \"%s\", \"agreement\": \"%s\"}",
+            pad.c_str(), num(m.windows).c_str(),
+            num(m.instructions).c_str(), num(m.cycles).c_str(),
+            pad.c_str(), num(m.cacheRefs).c_str(),
+            num(m.cacheMisses).c_str(), num(m.branchMisses).c_str(),
+            num(m.stalledCycles).c_str(), pad.c_str(),
+            num(m.minorFaults).c_str(), num(m.majorFaults).c_str(),
+            num(m.ctxSwitchesVol).c_str(),
+            num(m.ctxSwitchesInvol).c_str(), pad.c_str(),
+            num(m.ipc()).c_str(), num(m.missRate()).c_str(),
+            m.hw ? boundClassName(measuredBound(m)) : "n/a",
+            agreementVerdict(g.dominantBound(), m));
+    }
+    out += "}";
 }
 
 void
@@ -299,6 +432,18 @@ rooflineReportToJson(const RooflineReport &r)
         num(r.utilization()).c_str(), num(r.total.intensity()).c_str(),
         num(r.achievedFlopsFraction()).c_str(),
         num(r.achievedBandwidthFraction()).c_str());
+    if (r.hwprofTier != hwprof::Tier::Off) {
+        // Thresholds ride along so gnnperf_prof check re-derives the
+        // measured_bound/agreement verdicts from the file itself.
+        out += strprintf(
+            "  \"hwprof\": {\"tier\": \"%s\", \"reason\": \"%s\",\n"
+            "    \"thresholds\": {\"bandwidth_miss_rate\": %s, "
+            "\"dispatch_instructions_per_window\": %s}},\n",
+            hwprof::tierName(r.hwprofTier),
+            jsonEscape(r.hwprofTierReason).c_str(),
+            num(kMeasuredBandwidthMissRate).c_str(),
+            num(kMeasuredDispatchInstrPerWindow).c_str());
+    }
     out += "  \"total\": ";
     appendGroupJson(out, r.total, r.elapsed, 4);
     out += ",\n";
@@ -327,7 +472,9 @@ rooflineReportToJson(const RooflineReport &r)
 std::string
 rooflineSuiteToJson(const std::vector<RooflineReport> &suite)
 {
-    std::string out = "{\n  \"version\": 1,\n  \"reports\": {";
+    std::string out = strprintf(
+        "{\n  \"version\": 1,\n  \"meta\": %s,\n  \"reports\": {",
+        buildinfo::metaJson().c_str());
     bool first = true;
     for (const auto &r : suite) {
         out += first ? "\n" : ",\n";
@@ -354,28 +501,51 @@ rooflineSuiteToJson(const std::vector<RooflineReport> &suite)
 std::string
 renderRooflineTable(const std::vector<RooflineReport> &suite)
 {
+    // Measured columns appear only when at least one report carries
+    // hwprof counters, so the table is unchanged on hwprof-off runs.
+    bool measured = false;
+    for (const auto &r : suite)
+        measured = measured || r.total.measured.valid;
     TextTable table;
-    table.setHeader({"Config", ">Elapsed(ms)", ">Util%", ">AI(F/B)",
-                     ">Peak-F%", ">Peak-BW%", ">Comp%", ">BW%",
-                     ">Disp%", ">Kernels", ">HostThr", ">HostSpd"});
+    std::vector<std::string> header = {
+        "Config", ">Elapsed(ms)", ">Util%", ">AI(F/B)", ">Peak-F%",
+        ">Peak-BW%", ">Comp%", ">BW%", ">Disp%", ">Kernels",
+        ">HostThr", ">HostSpd"};
+    if (measured) {
+        header.push_back(">M-IPC");
+        header.push_back(">M-Miss%");
+        header.push_back("HWTier");
+    }
+    table.setHeader(header);
     for (const auto &r : suite) {
-        table.addRow(
-            {r.label, strprintf("%.2f", r.elapsed * 1e3),
-             strprintf("%.1f", r.utilization() * 100.0),
-             strprintf("%.2f", r.total.intensity()),
-             strprintf("%.1f", r.achievedFlopsFraction() * 100.0),
-             strprintf("%.1f", r.achievedBandwidthFraction() * 100.0),
-             strprintf("%.1f",
-                       r.total.boundShare(BoundClass::Compute) * 100.0),
-             strprintf("%.1f",
-                       r.total.boundShare(BoundClass::Bandwidth) *
-                           100.0),
-             strprintf("%.1f",
-                       r.total.boundShare(BoundClass::Dispatch) *
-                           100.0),
-             strprintf("%zu", r.total.launches),
-             strprintf("%d", r.hostThreads),
-             strprintf("%.2fx", r.hostParallelSpeedup)});
+        std::vector<std::string> row = {
+            r.label, strprintf("%.2f", r.elapsed * 1e3),
+            strprintf("%.1f", r.utilization() * 100.0),
+            strprintf("%.2f", r.total.intensity()),
+            strprintf("%.1f", r.achievedFlopsFraction() * 100.0),
+            strprintf("%.1f", r.achievedBandwidthFraction() * 100.0),
+            strprintf("%.1f",
+                      r.total.boundShare(BoundClass::Compute) * 100.0),
+            strprintf("%.1f",
+                      r.total.boundShare(BoundClass::Bandwidth) *
+                          100.0),
+            strprintf("%.1f",
+                      r.total.boundShare(BoundClass::Dispatch) *
+                          100.0),
+            strprintf("%zu", r.total.launches),
+            strprintf("%d", r.hostThreads),
+            strprintf("%.2fx", r.hostParallelSpeedup)};
+        if (measured) {
+            const MeasuredGroup &m = r.total.measured;
+            row.push_back(m.valid && m.hw
+                              ? strprintf("%.2f", m.ipc())
+                              : "-");
+            row.push_back(m.valid && m.hw
+                              ? strprintf("%.1f", m.missRate() * 100.0)
+                              : "-");
+            row.push_back(hwprof::tierName(r.hwprofTier));
+        }
+        table.addRow(row);
     }
     return table.render();
 }
@@ -383,9 +553,18 @@ renderRooflineTable(const std::vector<RooflineReport> &suite)
 std::string
 renderRooflineKernels(const RooflineReport &r)
 {
+    const bool measured = r.total.measured.valid;
     TextTable table;
-    table.setHeader({"Kernel", ">Launches", ">GPU(ms)", ">AI(F/B)",
-                     "Bound", ">Elapsed%"});
+    std::vector<std::string> header = {"Kernel", ">Launches",
+                                       ">GPU(ms)", ">AI(F/B)",
+                                       "Bound", ">Elapsed%"};
+    if (measured) {
+        header.push_back(">M-IPC");
+        header.push_back(">M-Miss%");
+        header.push_back("Measured");
+        header.push_back("Verdict");
+    }
+    table.setHeader(header);
     // Heaviest kernels first.
     std::vector<const RooflineGroup *> order;
     for (const auto &g : r.byKernel)
@@ -395,15 +574,26 @@ renderRooflineKernels(const RooflineReport &r)
                   return a->gpuSeconds > b->gpuSeconds;
               });
     for (const RooflineGroup *g : order) {
-        table.addRow(
-            {g->name, strprintf("%zu", g->launches),
-             strprintf("%.3f", g->gpuSeconds * 1e3),
-             strprintf("%.2f", g->intensity()),
-             boundClassName(g->dominantBound()),
-             strprintf("%.1f",
-                       r.elapsed > 0.0
-                           ? g->elapsedSeconds / r.elapsed * 100.0
-                           : 0.0)});
+        std::vector<std::string> row = {
+            g->name, strprintf("%zu", g->launches),
+            strprintf("%.3f", g->gpuSeconds * 1e3),
+            strprintf("%.2f", g->intensity()),
+            boundClassName(g->dominantBound()),
+            strprintf("%.1f",
+                      r.elapsed > 0.0
+                          ? g->elapsedSeconds / r.elapsed * 100.0
+                          : 0.0)};
+        if (measured) {
+            const MeasuredGroup &m = g->measured;
+            const bool hw = m.valid && m.hw;
+            row.push_back(hw ? strprintf("%.2f", m.ipc()) : "-");
+            row.push_back(
+                hw ? strprintf("%.1f", m.missRate() * 100.0) : "-");
+            row.push_back(hw ? boundClassName(measuredBound(m))
+                             : "n/a");
+            row.push_back(agreementVerdict(g->dominantBound(), m));
+        }
+        table.addRow(row);
     }
     return table.render();
 }

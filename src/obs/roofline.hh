@@ -35,6 +35,7 @@
 #include "device/cost_model.hh"
 #include "device/timeline.hh"
 #include "device/trace.hh"
+#include "obs/hwprof.hh"
 
 namespace gnnperf {
 
@@ -68,6 +69,61 @@ struct KernelBound
 KernelBound classifyKernel(const KernelRecord &k, const CostModel &model,
                            double dispatch_overhead);
 
+/**
+ * Measured hardware/OS counters attached to a roofline group — the
+ * empirical sibling of the modeled classification. Filled from an
+ * hwprof snapshot by attachMeasuredCounters; `valid` stays false on
+ * hwprof-off runs so exporters can skip the block entirely.
+ */
+struct MeasuredGroup
+{
+    bool valid = false;
+    /// True when the windows carried real PMU readings (hardware
+    /// tier); IPC/miss-rate are meaningless otherwise.
+    bool hw = false;
+    double windows = 0.0;
+    double instructions = 0.0;
+    double cycles = 0.0;
+    double cacheRefs = 0.0;
+    double cacheMisses = 0.0;
+    double branchMisses = 0.0;
+    double stalledCycles = 0.0;
+    double minorFaults = 0.0;
+    double majorFaults = 0.0;
+    double ctxSwitchesVol = 0.0;
+    double ctxSwitchesInvol = 0.0;
+
+    /** Measured instructions per cycle (0 when cycles == 0). */
+    double ipc() const;
+
+    /** Measured cache miss rate (0 when no references). */
+    double missRate() const;
+};
+
+/**
+ * Measured-classification thresholds, mirrored into the roofline
+ * JSON so `gnnperf_prof check` re-derives verdicts from the file
+ * instead of trusting a possibly-drifted constant.
+ */
+constexpr double kMeasuredBandwidthMissRate = 0.30;
+constexpr double kMeasuredDispatchInstrPerWindow = 20e3;
+
+/**
+ * Empirical bound class: too few instructions per launch window to
+ * amortize anything -> Dispatch; cache miss rate at or above
+ * kMeasuredBandwidthMissRate -> Bandwidth; else Compute. Only
+ * meaningful when the group is hardware-tier.
+ */
+BoundClass measuredBound(const MeasuredGroup &m);
+
+/**
+ * Modeled-vs-measured agreement verdict: "agree"/"disagree" when the
+ * group carries hardware-tier counters, "n/a" otherwise (software
+ * tier has no IPC/miss-rate to judge with).
+ */
+const char *agreementVerdict(BoundClass modeled,
+                             const MeasuredGroup &m);
+
 /** Aggregated kernel-side attribution for one grouping key. */
 struct RooflineGroup
 {
@@ -91,6 +147,9 @@ struct RooflineGroup
 
     /** Dominant bound class by time (Dispatch when empty). */
     BoundClass dominantBound() const;
+
+    /** Measured counters for this group (valid only with --hwprof). */
+    MeasuredGroup measured;
 };
 
 /** Aggregated host-op attribution for one HostOpKind. */
@@ -131,6 +190,12 @@ struct RooflineReport
     std::vector<RooflineGroup> byLayer;   ///< per layer scope
     std::vector<RooflineGroup> byPhase;   ///< per training phase
     std::vector<HostOpGroup> byHostOp;    ///< per HostOpKind
+
+    // Measured-counter tier the run executed under (hwprof::Tier
+    // values; Off when --hwprof was not given) and the reason the
+    // tier was chosen, quoted in reports so a fallback run says so.
+    hwprof::Tier hwprofTier = hwprof::Tier::Off;
+    std::string hwprofTierReason;
 
     /** GPU compute utilization (paper Eq. 5). */
     double
@@ -196,6 +261,19 @@ RooflineReport analyzeRoofline(const Trace &trace, const CostModel &model,
                                double dispatch_overhead,
                                const std::vector<std::string> &layer_names,
                                std::string label);
+
+/**
+ * Merge the current hwprof aggregates into a finished report: the
+ * by-kernel/layer/phase groups gain Measured counters matched by
+ * name, and the report records the tier. No-op (report untouched)
+ * when the profiler is off or has seen no windows, so hwprof-off
+ * output is byte-identical.
+ */
+void attachMeasuredCounters(RooflineReport &report);
+
+/** Same, from an explicit snapshot (testable without global state). */
+void attachMeasuredCounters(RooflineReport &report,
+                            const hwprof::Snapshot &snap);
 
 /**
  * JSON for one report (schema documented in docs/OBSERVABILITY.md).

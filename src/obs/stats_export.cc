@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/buildinfo.hh"
 #include "common/string_utils.hh"
 
 namespace gnnperf {
@@ -27,8 +28,10 @@ statsToJson(const Registry &r)
 {
     const auto snaps = r.snapshotAll();
     std::string out = strprintf("{\n  \"version\": 1,\n"
+                                "  \"meta\": %s,\n"
                                 "  \"epochs\": %zu,\n"
                                 "  \"metrics\": {",
+                                buildinfo::metaJson().c_str(),
                                 r.epochsRolled());
     bool first = true;
     for (const auto &snap : snaps) {

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "common/buildinfo.hh"
 #include "common/checks.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "obs/hwprof.hh"
 #include "obs/spans.hh"
 #include "obs/stats.hh"
 #include "parallel/write_check.hh"
@@ -57,6 +59,7 @@ ThreadPool::ThreadPool() : numThreads_(defaultThreads())
 {
     std::lock_guard<std::mutex> lock(mu_);
     spawnWorkersLocked(numThreads_ - 1);
+    buildinfo::setRunFact("threads", std::to_string(numThreads_));
 }
 
 int
@@ -91,6 +94,7 @@ ThreadPool::setNumThreads(int n)
     std::lock_guard<std::mutex> lock(mu_);
     numThreads_ = n;
     spawnWorkersLocked(n - 1);
+    buildinfo::setRunFact("threads", std::to_string(numThreads_));
 }
 
 void
@@ -128,7 +132,16 @@ ThreadPool::workerMain(int worker_index)
             continue;
         t_inRegion = true;
         uint64_t tasks = 0, steals = 0;
+        // Per-thread counter slot: bracket the work so this worker's
+        // cycles/instructions land in the pending accumulator and get
+        // attributed to the kernel the caller is about to record.
+        const bool hw = hwprof::enabled();
+        hwprof::Sample hw_start;
+        if (hw)
+            hw_start = hwprof::workerBegin();
         workOn(slot, width, tasks, steals);
+        if (hw)
+            hwprof::workerEnd(hw_start);
         t_inRegion = false;
         jobTasks_.fetch_add(tasks, std::memory_order_relaxed);
         jobSteals_.fetch_add(steals, std::memory_order_relaxed);

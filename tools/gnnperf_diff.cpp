@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buildinfo.hh"
 #include "common/fs.hh"
 #include "common/json.hh"
 #include "obs/diff.hh"
@@ -68,6 +69,11 @@ loadJson(const char *path, JsonValue &out)
 int
 main(int argc, char **argv)
 {
+    if (argc == 2 && std::strcmp(argv[1], "--version") == 0) {
+        std::printf("%s\n",
+                    buildinfo::versionLine("gnnperf_diff").c_str());
+        return 0;
+    }
     const char *paths[2] = {nullptr, nullptr};
     int npaths = 0;
     diff::DiffOptions opts;

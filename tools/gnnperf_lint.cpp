@@ -2,7 +2,7 @@
  * @file
  * gnnperf_lint — repo-specific static checks the compiler cannot see.
  *
- * Walks the source tree (common/fs) and enforces four conventions
+ * Walks the source tree (common/fs) and enforces five conventions
  * that keep the observability and memory layers trustworthy:
  *
  *  1. no raw `new` / `delete` outside src/device/ — storage must flow
@@ -17,6 +17,9 @@
  *  4. every `stats.` metric-name literal registered in src/ is
  *     mentioned in docs/OBSERVABILITY.md, so the metric reference
  *     stays complete.
+ *  5. every `GNNPERF_*` environment-variable literal under src/ is
+ *     mentioned in the src/common/env.hh docblock, so the knob
+ *     reference stays complete.
  *
  * Usage:
  *   gnnperf_lint [REPO_ROOT]
@@ -32,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buildinfo.hh"
 #include "common/fs.hh"
 
 using namespace gnnperf;
@@ -287,11 +291,40 @@ checkMetricNames(const std::string &file, const std::string &text,
     }
 }
 
+/**
+ * Rule 5: every GNNPERF_* environment-variable literal must appear in
+ * the src/common/env.hh docblock (the knob reference).
+ */
+void
+checkEnvNames(const std::string &file, const std::string &text,
+              const std::string &env_doc)
+{
+    static const std::regex env_re("\"(GNNPERF_[A-Z0-9_]+)\"");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                        env_re);
+         it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1].str();
+        if (contains(env_doc, name.c_str()))
+            continue;
+        const int line = 1 + static_cast<int>(std::count(
+                                 text.begin(),
+                                 text.begin() + it->position(0), '\n'));
+        report(file, line,
+               "env var '" + name +
+                   "' is not documented in src/common/env.hh");
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc == 2 && std::strcmp(argv[1], "--version") == 0) {
+        std::printf("%s\n",
+                    buildinfo::versionLine("gnnperf_lint").c_str());
+        return 0;
+    }
     std::string root = ".";
     if (argc > 2)
         return usage(argv[0]);
@@ -346,6 +379,14 @@ main(int argc, char **argv)
         return 2;
     }
 
+    std::string env_doc;
+    if (!readFile(root + "/src/common/env.hh", env_doc)) {
+        std::fprintf(stderr, "gnnperf_lint: cannot read "
+                             "src/common/env.hh under %s\n",
+                     root.c_str());
+        return 2;
+    }
+
     const std::string prefix = root == "." ? "" : root + "/";
     for (const std::string &file : files) {
         std::string text;
@@ -372,6 +413,8 @@ main(int argc, char **argv)
             // are what is being checked.
             checkKernelNames(rel, text, registered);
             checkMetricNames(rel, text, doc);
+            if (rel != "src/common/env.hh")
+                checkEnvNames(rel, text, env_doc);
         }
     }
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buildinfo.hh"
 #include "common/fs.hh"
 #include "common/json.hh"
 
@@ -322,6 +323,11 @@ cmdMerge(const char *out_path, const std::vector<const char *> &inputs)
 int
 main(int argc, char **argv)
 {
+    if (argc == 2 && std::strcmp(argv[1], "--version") == 0) {
+        std::printf("%s\n",
+                    buildinfo::versionLine("gnnperf_trace").c_str());
+        return 0;
+    }
     if (argc < 3)
         return usage(argv[0]);
     const char *cmd = argv[1];
