@@ -10,6 +10,7 @@
  *                  [--epochs N] [--folds N] [--seeds N]
  *                  [--graphs N] [--verbose]
  *                  [--threads N]
+ *                  [--ir eager|graph]
  *                  [--allocator direct|caching]
  *                  [--stats-out FILE] [--events-out FILE]
  *                  [--roofline-out FILE] [--bench-out FILE]
@@ -23,6 +24,15 @@
  * exact historical serial path; any width is byte-identical on the
  * deterministic kernels, so accuracy and logical-memory series match
  * across thread counts.
+ *
+ * --ir selects the dispatch path (default: eager; GNNPERF_IR
+ * overrides the default). `graph` records each training iteration
+ * into the op-graph IR, fuses gather→elementwise→scatter chains into
+ * single launches and pre-places the iteration's allocations before
+ * replaying (src/ir, docs/IR.md). Both paths are numerically
+ * bit-identical at every thread width; only launch counts, spans and
+ * the reserved-pool series change. BENCH JSONs carry the `ir.*`
+ * dispatch series either way.
  *
  * --allocator selects the device allocator for the process (default:
  * caching; GNNPERF_ALLOCATOR overrides the default). Logical peak
@@ -86,6 +96,7 @@
 #include "core/report.hh"
 #include "device/device.hh"
 #include "device/trace_export.hh"
+#include "ir/ir.hh"
 #include "obs/diff.hh"
 #include "obs/exec_trace.hh"
 #include "obs/hwprof.hh"
@@ -211,6 +222,7 @@ writeBenchOutput(const std::string &path, const std::string &bench_name,
     appendStatsSeries(series);
     appendAllocatorSeries(series);
     appendParallelSeries(series);
+    appendIrSeries(series);
     appendHwprofSeries(series);
     writeFile(path, diff::baselineToJson(bench_name, series));
     std::printf("wrote %s\n", path.c_str());
@@ -279,6 +291,9 @@ main(int argc, char **argv)
         DeviceManager::instance().setAllocator(
             allocatorKindFromName(allocator));
     }
+    const std::string ir_mode = get(args, "ir", "");
+    if (!ir_mode.empty())
+        ir::setMode(ir::modeFromString(ir_mode.c_str()));
     const std::string roofline_path = get(args, "roofline-out", "");
     const std::string bench_path = get(args, "bench-out", "");
     if (args.count("stats-out") > 0 || args.count("events-out") > 0 ||

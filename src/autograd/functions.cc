@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "device/profiler.hh"
+#include "ir/ir.hh"
 #include "tensor/matmul.hh"
 #include "tensor/ops.hh"
 
@@ -9,6 +10,25 @@ namespace gnnperf {
 namespace fn {
 
 using autograd::Node;
+
+namespace {
+
+/**
+ * Operand reference for the op-graph recorder: pending slot if the
+ * input is itself a recorded-but-unflushed op, else its concrete
+ * tensor. Reads the tape node directly — going through value() would
+ * force a flush and defeat the recording.
+ */
+ir::ValRef
+refOf(const Var &v)
+{
+    gnnperf_assert(v.defined(), "recording op on undefined Var");
+    const auto &node = v.node();
+    return node->irSlot >= 0 ? ir::ValRef::pending(node->irSlot)
+                             : ir::ValRef::concrete(node->value);
+}
+
+} // namespace
 
 Var
 matmul(const Var &a, const Var &b)
@@ -30,56 +50,77 @@ matmul(const Var &a, const Var &b)
 Var
 add(const Var &a, const Var &b)
 {
+    auto bwd = [](Node &n) {
+        if (n.inputs[0]->requiresGrad)
+            n.inputs[0]->accumulateGrad(n.grad);
+        if (n.inputs[1]->requiresGrad)
+            n.inputs[1]->accumulateGrad(n.grad);
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("add",
+            ir::recordBinary(ops::EwBinary::Add, refOf(a), refOf(b)),
+            {a, b}, bwd);
     return Var::makeOp("add", ops::add(a.value(), b.value()), {a, b},
-        [](Node &n) {
-            if (n.inputs[0]->requiresGrad)
-                n.inputs[0]->accumulateGrad(n.grad);
-            if (n.inputs[1]->requiresGrad)
-                n.inputs[1]->accumulateGrad(n.grad);
-        });
+                       bwd);
 }
 
 Var
 sub(const Var &a, const Var &b)
 {
+    auto bwd = [](Node &n) {
+        if (n.inputs[0]->requiresGrad)
+            n.inputs[0]->accumulateGrad(n.grad);
+        if (n.inputs[1]->requiresGrad)
+            n.inputs[1]->accumulateGrad(ops::scale(n.grad, -1.0f));
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("sub",
+            ir::recordBinary(ops::EwBinary::Sub, refOf(a), refOf(b)),
+            {a, b}, bwd);
     return Var::makeOp("sub", ops::sub(a.value(), b.value()), {a, b},
-        [](Node &n) {
-            if (n.inputs[0]->requiresGrad)
-                n.inputs[0]->accumulateGrad(n.grad);
-            if (n.inputs[1]->requiresGrad)
-                n.inputs[1]->accumulateGrad(ops::scale(n.grad, -1.0f));
-        });
+                       bwd);
 }
 
 Var
 mul(const Var &a, const Var &b)
 {
-    Tensor av = a.value(), bv = b.value();
-    return Var::makeOp("mul", ops::mul(av, bv), {a, b},
-        [av, bv](Node &n) {
-            if (n.inputs[0]->requiresGrad)
-                n.inputs[0]->accumulateGrad(ops::mul(n.grad, bv));
-            if (n.inputs[1]->requiresGrad)
-                n.inputs[1]->accumulateGrad(ops::mul(n.grad, av));
-        });
+    auto bwd = [](Node &n) {
+        if (n.inputs[0]->requiresGrad)
+            n.inputs[0]->accumulateGrad(
+                ops::mul(n.grad, n.inputs[1]->value));
+        if (n.inputs[1]->requiresGrad)
+            n.inputs[1]->accumulateGrad(
+                ops::mul(n.grad, n.inputs[0]->value));
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("mul",
+            ir::recordBinary(ops::EwBinary::Mul, refOf(a), refOf(b)),
+            {a, b}, bwd);
+    return Var::makeOp("mul", ops::mul(a.value(), b.value()), {a, b},
+                       bwd);
 }
 
 Var
 divElem(const Var &a, const Var &b)
 {
-    Tensor av = a.value(), bv = b.value();
-    return Var::makeOp("div", ops::div(av, bv), {a, b},
-        [av, bv](Node &n) {
-            Tensor inv = ops::reciprocal(bv);
-            if (n.inputs[0]->requiresGrad)
-                n.inputs[0]->accumulateGrad(ops::mul(n.grad, inv));
-            if (n.inputs[1]->requiresGrad) {
-                // db = -g * a / b^2
-                Tensor inv2 = ops::mul(inv, inv);
-                n.inputs[1]->accumulateGrad(ops::scale(
-                    ops::mul(ops::mul(n.grad, av), inv2), -1.0f));
-            }
-        });
+    auto bwd = [](Node &n) {
+        Tensor inv = ops::reciprocal(n.inputs[1]->value);
+        if (n.inputs[0]->requiresGrad)
+            n.inputs[0]->accumulateGrad(ops::mul(n.grad, inv));
+        if (n.inputs[1]->requiresGrad) {
+            // db = -g * a / b^2
+            Tensor inv2 = ops::mul(inv, inv);
+            n.inputs[1]->accumulateGrad(ops::scale(
+                ops::mul(ops::mul(n.grad, n.inputs[0]->value), inv2),
+                -1.0f));
+        }
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("div",
+            ir::recordBinary(ops::EwBinary::Div, refOf(a), refOf(b)),
+            {a, b}, bwd);
+    return Var::makeOp("div", ops::div(a.value(), b.value()), {a, b},
+                       bwd);
 }
 
 Var
@@ -102,21 +143,30 @@ mulScalarVar(const Var &x, const Var &s)
 Var
 scale(const Var &a, float s)
 {
-    return Var::makeOp("scale", ops::scale(a.value(), s), {a},
-        [s](Node &n) {
-            if (n.inputs[0]->requiresGrad)
-                n.inputs[0]->accumulateGrad(ops::scale(n.grad, s));
-        });
+    auto bwd = [s](Node &n) {
+        if (n.inputs[0]->requiresGrad)
+            n.inputs[0]->accumulateGrad(ops::scale(n.grad, s));
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("scale",
+            ir::recordUnary(ops::EwUnary::Scale, s, refOf(a)), {a},
+            bwd);
+    return Var::makeOp("scale", ops::scale(a.value(), s), {a}, bwd);
 }
 
 Var
 addScalar(const Var &a, float s)
 {
+    auto bwd = [](Node &n) {
+        if (n.inputs[0]->requiresGrad)
+            n.inputs[0]->accumulateGrad(n.grad);
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("add_scalar",
+            ir::recordUnary(ops::EwUnary::AddScalar, s, refOf(a)), {a},
+            bwd);
     return Var::makeOp("add_scalar", ops::addScalar(a.value(), s), {a},
-        [](Node &n) {
-            if (n.inputs[0]->requiresGrad)
-                n.inputs[0]->accumulateGrad(n.grad);
-        });
+                       bwd);
 }
 
 Var
@@ -233,124 +283,138 @@ divCols(const Var &x, const Var &s)
 Var
 relu(const Var &a)
 {
-    Tensor av = a.value();
-    return Var::makeOp("relu", ops::relu(av), {a},
-        [av](Node &n) {
-            if (!n.inputs[0]->requiresGrad)
-                return;
-            Tensor g(n.grad.shape(), n.grad.device());
-            const float *pg = n.grad.data();
-            const float *px = av.data();
-            float *po = g.data();
-            for (int64_t i = 0; i < g.numel(); ++i)
-                po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
-            recordKernel("relu_bwd", static_cast<double>(g.numel()),
-                         3.0 * static_cast<double>(g.bytes()));
-            n.inputs[0]->accumulateGrad(g);
-        });
+    auto bwd = [](Node &n) {
+        if (!n.inputs[0]->requiresGrad)
+            return;
+        Tensor g(n.grad.shape(), n.grad.device());
+        const float *pg = n.grad.data();
+        const float *px = n.inputs[0]->value.data();
+        float *po = g.data();
+        for (int64_t i = 0; i < g.numel(); ++i)
+            po[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+        recordKernel("relu_bwd", static_cast<double>(g.numel()),
+                     3.0 * static_cast<double>(g.bytes()));
+        n.inputs[0]->accumulateGrad(g);
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("relu",
+            ir::recordUnary(ops::EwUnary::Relu, 0.0f, refOf(a)), {a},
+            bwd);
+    return Var::makeOp("relu", ops::relu(a.value()), {a}, bwd);
 }
 
 Var
 sigmoid(const Var &a)
 {
-    Tensor out = ops::sigmoid(a.value());
-    Tensor oc = out;
-    return Var::makeOp("sigmoid", std::move(out), {a},
-        [oc](Node &n) {
-            if (!n.inputs[0]->requiresGrad)
-                return;
-            Tensor g(n.grad.shape(), n.grad.device());
-            const float *pg = n.grad.data();
-            const float *po = oc.data();
-            float *pr = g.data();
-            for (int64_t i = 0; i < g.numel(); ++i)
-                pr[i] = pg[i] * po[i] * (1.0f - po[i]);
-            recordKernel("sigmoid_bwd",
-                         3.0 * static_cast<double>(g.numel()),
-                         3.0 * static_cast<double>(g.bytes()));
-            n.inputs[0]->accumulateGrad(g);
-        });
+    auto bwd = [](Node &n) {
+        if (!n.inputs[0]->requiresGrad)
+            return;
+        Tensor g(n.grad.shape(), n.grad.device());
+        const float *pg = n.grad.data();
+        const float *po = n.value.data();
+        float *pr = g.data();
+        for (int64_t i = 0; i < g.numel(); ++i)
+            pr[i] = pg[i] * po[i] * (1.0f - po[i]);
+        recordKernel("sigmoid_bwd",
+                     3.0 * static_cast<double>(g.numel()),
+                     3.0 * static_cast<double>(g.bytes()));
+        n.inputs[0]->accumulateGrad(g);
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("sigmoid",
+            ir::recordUnary(ops::EwUnary::Sigmoid, 0.0f, refOf(a)),
+            {a}, bwd);
+    return Var::makeOp("sigmoid", ops::sigmoid(a.value()), {a}, bwd);
 }
 
 Var
 tanhV(const Var &a)
 {
-    Tensor out = ops::tanhT(a.value());
-    Tensor oc = out;
-    return Var::makeOp("tanh", std::move(out), {a},
-        [oc](Node &n) {
-            if (!n.inputs[0]->requiresGrad)
-                return;
-            Tensor g(n.grad.shape(), n.grad.device());
-            const float *pg = n.grad.data();
-            const float *po = oc.data();
-            float *pr = g.data();
-            for (int64_t i = 0; i < g.numel(); ++i)
-                pr[i] = pg[i] * (1.0f - po[i] * po[i]);
-            recordKernel("tanh_bwd",
-                         3.0 * static_cast<double>(g.numel()),
-                         3.0 * static_cast<double>(g.bytes()));
-            n.inputs[0]->accumulateGrad(g);
-        });
+    auto bwd = [](Node &n) {
+        if (!n.inputs[0]->requiresGrad)
+            return;
+        Tensor g(n.grad.shape(), n.grad.device());
+        const float *pg = n.grad.data();
+        const float *po = n.value.data();
+        float *pr = g.data();
+        for (int64_t i = 0; i < g.numel(); ++i)
+            pr[i] = pg[i] * (1.0f - po[i] * po[i]);
+        recordKernel("tanh_bwd",
+                     3.0 * static_cast<double>(g.numel()),
+                     3.0 * static_cast<double>(g.bytes()));
+        n.inputs[0]->accumulateGrad(g);
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("tanh",
+            ir::recordUnary(ops::EwUnary::Tanh, 0.0f, refOf(a)), {a},
+            bwd);
+    return Var::makeOp("tanh", ops::tanhT(a.value()), {a}, bwd);
 }
 
 Var
 elu(const Var &a, float alpha)
 {
-    Tensor av = a.value();
-    Tensor out = ops::elu(av, alpha);
-    Tensor oc = out;
-    return Var::makeOp("elu", std::move(out), {a},
-        [av, oc, alpha](Node &n) {
-            if (!n.inputs[0]->requiresGrad)
-                return;
-            Tensor g(n.grad.shape(), n.grad.device());
-            const float *pg = n.grad.data();
-            const float *px = av.data();
-            const float *po = oc.data();
-            float *pr = g.data();
-            for (int64_t i = 0; i < g.numel(); ++i) {
-                const float d = px[i] > 0.0f ? 1.0f : po[i] + alpha;
-                pr[i] = pg[i] * d;
-            }
-            recordKernel("elu_bwd",
-                         2.0 * static_cast<double>(g.numel()),
-                         3.0 * static_cast<double>(g.bytes()));
-            n.inputs[0]->accumulateGrad(g);
-        });
+    auto bwd = [alpha](Node &n) {
+        if (!n.inputs[0]->requiresGrad)
+            return;
+        Tensor g(n.grad.shape(), n.grad.device());
+        const float *pg = n.grad.data();
+        const float *px = n.inputs[0]->value.data();
+        const float *po = n.value.data();
+        float *pr = g.data();
+        for (int64_t i = 0; i < g.numel(); ++i) {
+            const float d = px[i] > 0.0f ? 1.0f : po[i] + alpha;
+            pr[i] = pg[i] * d;
+        }
+        recordKernel("elu_bwd",
+                     2.0 * static_cast<double>(g.numel()),
+                     3.0 * static_cast<double>(g.bytes()));
+        n.inputs[0]->accumulateGrad(g);
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("elu",
+            ir::recordUnary(ops::EwUnary::Elu, alpha, refOf(a)), {a},
+            bwd);
+    return Var::makeOp("elu", ops::elu(a.value(), alpha), {a}, bwd);
 }
 
 Var
 leakyRelu(const Var &a, float slope)
 {
-    Tensor av = a.value();
-    return Var::makeOp("leaky_relu", ops::leakyRelu(av, slope), {a},
-        [av, slope](Node &n) {
-            if (!n.inputs[0]->requiresGrad)
-                return;
-            Tensor g(n.grad.shape(), n.grad.device());
-            const float *pg = n.grad.data();
-            const float *px = av.data();
-            float *pr = g.data();
-            for (int64_t i = 0; i < g.numel(); ++i)
-                pr[i] = px[i] > 0.0f ? pg[i] : slope * pg[i];
-            recordKernel("leaky_relu_bwd",
-                         static_cast<double>(g.numel()),
-                         3.0 * static_cast<double>(g.bytes()));
-            n.inputs[0]->accumulateGrad(g);
-        });
+    auto bwd = [slope](Node &n) {
+        if (!n.inputs[0]->requiresGrad)
+            return;
+        Tensor g(n.grad.shape(), n.grad.device());
+        const float *pg = n.grad.data();
+        const float *px = n.inputs[0]->value.data();
+        float *pr = g.data();
+        for (int64_t i = 0; i < g.numel(); ++i)
+            pr[i] = px[i] > 0.0f ? pg[i] : slope * pg[i];
+        recordKernel("leaky_relu_bwd",
+                     static_cast<double>(g.numel()),
+                     3.0 * static_cast<double>(g.bytes()));
+        n.inputs[0]->accumulateGrad(g);
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("leaky_relu",
+            ir::recordUnary(ops::EwUnary::LeakyRelu, slope, refOf(a)),
+            {a}, bwd);
+    return Var::makeOp("leaky_relu", ops::leakyRelu(a.value(), slope),
+                       {a}, bwd);
 }
 
 Var
 expV(const Var &a)
 {
-    Tensor out = ops::expT(a.value());
-    Tensor oc = out;
-    return Var::makeOp("exp", std::move(out), {a},
-        [oc](Node &n) {
-            if (n.inputs[0]->requiresGrad)
-                n.inputs[0]->accumulateGrad(ops::mul(n.grad, oc));
-        });
+    auto bwd = [](Node &n) {
+        if (n.inputs[0]->requiresGrad)
+            n.inputs[0]->accumulateGrad(ops::mul(n.grad, n.value));
+    };
+    if (ir::recording())
+        return Var::makeOpRecorded("exp",
+            ir::recordUnary(ops::EwUnary::Exp, 0.0f, refOf(a)), {a},
+            bwd);
+    return Var::makeOp("exp", ops::expT(a.value()), {a}, bwd);
 }
 
 Var
@@ -433,6 +497,18 @@ Var
 gatherRows(const Var &x, const std::vector<int64_t> &idx)
 {
     const int64_t num_rows = x.dim(0);
+    if (ir::recording()) {
+        // One interned copy shared by the graph node and the closure,
+        // matching eager's single capture of the index vector.
+        auto shared = ir::internedIndex(idx);
+        return Var::makeOpRecorded("gather_rows",
+            ir::recordGather(refOf(x), idx), {x},
+            [shared, num_rows](Node &n) {
+                if (n.inputs[0]->requiresGrad)
+                    n.inputs[0]->accumulateGrad(
+                        ops::scatterAddRows(n.grad, *shared, num_rows));
+            });
+    }
     return Var::makeOp("gather_rows",
         ops::gatherRows(x.value(), idx), {x},
         [idx, num_rows](Node &n) {
@@ -446,6 +522,16 @@ Var
 scatterAddRows(const Var &x, const std::vector<int64_t> &idx,
                int64_t num_rows)
 {
+    if (ir::recording()) {
+        auto shared = ir::internedIndex(idx);
+        return Var::makeOpRecorded("scatter_add_rows",
+            ir::recordScatterAdd(refOf(x), idx, num_rows), {x},
+            [shared](Node &n) {
+                if (n.inputs[0]->requiresGrad)
+                    n.inputs[0]->accumulateGrad(
+                        ops::gatherRows(n.grad, *shared));
+            });
+    }
     return Var::makeOp("scatter_add_rows",
         ops::scatterAddRows(x.value(), idx, num_rows), {x},
         [idx](Node &n) {

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/logging.hh"
+#include "ir/ir.hh"
 #include "tensor/ops.hh"
 
 namespace gnnperf {
@@ -58,10 +59,48 @@ Var::makeOp(const char *name, Tensor value, std::vector<Var> inputs,
     return Var(std::move(node));
 }
 
+Var
+Var::makeOpRecorded(const char *name, int32_t ir_slot,
+                    std::vector<Var> inputs,
+                    std::function<void(Node &)> backward_fn)
+{
+    bool any_grad = false;
+    if (GradMode::enabled()) {
+        for (const auto &in : inputs) {
+            if (in.defined() && in.requiresGrad()) {
+                any_grad = true;
+                break;
+            }
+        }
+    }
+    auto node = std::make_shared<Node>();
+    node->irSlot = ir_slot;
+    if (any_grad) {
+        node->requiresGrad = true;
+        node->opName = name;
+        node->backwardFn = std::move(backward_fn);
+        node->inputs.reserve(inputs.size());
+        for (auto &in : inputs)
+            node->inputs.push_back(in.node());
+    }
+    // Pruned results stay pending leaves: either way the flush delivers
+    // the tensor through this sink before any backward runs.
+    ir::bindSink(ir_slot, [node](Tensor t) {
+        node->value = std::move(t);
+        node->irSlot = -1;
+    });
+    return Var(std::move(node));
+}
+
 const Tensor &
 Var::value() const
 {
     gnnperf_assert(defined(), "value() on undefined Var");
+    if (node_->irSlot >= 0) {
+        ir::materializeAll();
+        gnnperf_assert(node_->irSlot < 0,
+                       "ir flush left op ", node_->opName, " pending");
+    }
     return node_->value;
 }
 
@@ -69,7 +108,48 @@ Tensor &
 Var::valueMutable()
 {
     gnnperf_assert(defined(), "valueMutable() on undefined Var");
+    if (node_->irSlot >= 0) {
+        ir::materializeAll();
+        gnnperf_assert(node_->irSlot < 0,
+                       "ir flush left op ", node_->opName, " pending");
+    }
     return node_->value;
+}
+
+int64_t
+Var::dim(int64_t i) const
+{
+    gnnperf_assert(defined(), "dim() on undefined Var");
+    if (node_->irSlot >= 0) {
+        const auto &shape = ir::shapeOf(node_->irSlot);
+        gnnperf_assert(i >= 0 && i < static_cast<int64_t>(shape.size()),
+                       "dim ", i, " out of range for pending op ",
+                       node_->opName);
+        return shape[static_cast<std::size_t>(i)];
+    }
+    return node_->value.dim(i);
+}
+
+int64_t
+Var::rank() const
+{
+    gnnperf_assert(defined(), "rank() on undefined Var");
+    if (node_->irSlot >= 0)
+        return static_cast<int64_t>(ir::shapeOf(node_->irSlot).size());
+    return node_->value.rank();
+}
+
+int64_t
+Var::numel() const
+{
+    gnnperf_assert(defined(), "numel() on undefined Var");
+    if (node_->irSlot >= 0) {
+        int64_t n = 1;
+        for (int64_t d : ir::shapeOf(node_->irSlot))
+            n *= d;
+        return n;
+    }
+    return node_->value.numel();
 }
 
 const Tensor &
@@ -154,7 +234,7 @@ Var::detach() const
 {
     if (!defined())
         return Var();
-    return Var(node_->value, false);
+    return Var(value(), false);
 }
 
 } // namespace autograd

@@ -38,6 +38,13 @@ class Node
     const char *opName = "leaf";
     std::vector<NodePtr> inputs;
 
+    /**
+     * Pending slot in the recorded op graph (src/ir), or -1 once
+     * `value` is concrete. The IR flush delivers the tensor through a
+     * sink that resets this; any value access flushes first.
+     */
+    int32_t irSlot = -1;
+
     /** Distributes `grad` to the inputs; empty for leaves. */
     std::function<void(Node &)> backwardFn;
 
@@ -91,17 +98,31 @@ class Var
                       std::vector<Var> inputs,
                       std::function<void(Node &)> backward_fn);
 
+    /**
+     * Create an op result node whose value is pending in the recorded
+     * op graph (`ir_slot` from ir::record*). Applies the same graph
+     * pruning as makeOp; either way the node's value arrives through
+     * an ir sink at the next flush. The `backward_fn` must read its
+     * operands from the tape (`n.inputs[k]->value`, `n.value`) — by
+     * flush time those are concrete.
+     */
+    static Var makeOpRecorded(const char *name, int32_t ir_slot,
+                              std::vector<Var> inputs,
+                              std::function<void(Node &)> backward_fn);
+
     bool defined() const { return node_ != nullptr; }
+
+    /** The concrete tensor; flushes the recorded graph if pending. */
     const Tensor &value() const;
     Tensor &valueMutable();
     const Tensor &grad() const;
     bool hasGrad() const;
     bool requiresGrad() const;
 
-    /** Shape helpers forwarded to the value tensor. */
-    int64_t dim(int64_t i) const { return value().dim(i); }
-    int64_t rank() const { return value().rank(); }
-    int64_t numel() const { return value().numel(); }
+    /** Shape helpers; pending-aware (no flush). */
+    int64_t dim(int64_t i) const;
+    int64_t rank() const;
+    int64_t numel() const;
 
     /** Scalar extraction (requires numel() == 1). */
     float item() const;

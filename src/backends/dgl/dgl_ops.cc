@@ -8,6 +8,12 @@
  * out-index. Every graph-level op pays heterograph dispatch on the
  * host and zero-initialises a message frame on the device — the DGL
  * runtime behaviours behind the paper's timing and memory gaps.
+ *
+ * Under --ir=graph (ir/ir.hh) the GSpMM/GSDDMM ops read operand
+ * .value()s directly and so act as graph breaks: DGL's fusion already
+ * happened inside the kernel, leaving the recorder's fusion pass only
+ * the surrounding elementwise chains and the gather-based apply_edges
+ * path (gatherSrc/gatherDst route through recordable fn:: ops).
  */
 
 #include "backends/dgl/dgl_backend.hh"

@@ -8,6 +8,13 @@
  * materialised — more launches and more activation memory than DGL's
  * fused GSpMM, but each kernel is a plain PyTorch op with low dispatch
  * cost, and nothing touches format conversion.
+ *
+ * Because these primitives compose from recordable fn:: ops, they are
+ * the main beneficiary of --ir=graph (ir/ir.hh): the recorder sees the
+ * whole gather → elementwise → scatter_add chain and the fusion pass
+ * collapses it into one fused launch. Ops that read .value() directly
+ * (scatter-max, reciprocal) flush pending work and break the recorded
+ * graph at that point.
  */
 
 #include "backends/pyg/pyg_backend.hh"
@@ -42,6 +49,8 @@ PygBackend::aggregate(BatchedGraph &g, const Var &x, Reduce reduce) const
       }
       case Reduce::Max: {
         // Custom op: scatter-max with argmax routing for backward.
+        // messages.value() flushes any recorded chain here — max has
+        // no Into-kernel replay, so it stays outside the op graph.
         auto argmax = std::make_shared<std::vector<int64_t>>();
         Tensor out = graphops::scatterMaxRows(messages.value(),
                                               g.edgeDst, g.numNodes,

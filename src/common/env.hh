@@ -33,6 +33,13 @@
  *                           checker, allocator redzones, registry
  *                           asserts. Wins over the -DGNNPERF_CHECKED
  *                           build default in both directions.
+ *   GNNPERF_IR=eager|graph — op dispatch mode (ir/ir.hh): eager
+ *                           executes kernels as fn:: ops are called
+ *                           (bit-identical reference); graph records
+ *                           the iteration into an op graph, fuses
+ *                           gather→elementwise→scatter chains, plans
+ *                           allocations, then replays. --ir on
+ *                           run_experiment wins.
  *   GNNPERF_HWPROF=1|sw|0 — hardware-counter profiling tier
  *                           (obs/hwprof.hh): 1 probes
  *                           perf_event_open and falls back to the

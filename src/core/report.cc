@@ -7,6 +7,7 @@
 #include "common/table.hh"
 #include "device/device.hh"
 #include "device/trace_export.hh"
+#include "ir/ir.hh"
 #include "obs/hwprof.hh"
 #include "obs/stats.hh"
 #include "obs/stats_export.hh"
@@ -334,6 +335,24 @@ appendHwprofSeries(
     }
     series.emplace_back("hwprof.rss_peak_bytes",
                         static_cast<double>(snap.rssPeakBytes));
+}
+
+void
+appendIrSeries(std::vector<std::pair<std::string, double>> &series)
+{
+    const ir::IrCounters &c = ir::counters();
+    series.emplace_back("ir.recorded_ops",
+                        static_cast<double>(c.recordedOps));
+    series.emplace_back("ir.fused_launches",
+                        static_cast<double>(c.fusedLaunches));
+    series.emplace_back("ir.launches_saved",
+                        static_cast<double>(c.launchesSaved));
+    const double plan_peak =
+        ir::mode() == ir::IrMode::Graph
+            ? static_cast<double>(DeviceManager::instance().stats(
+                  DeviceKind::Cuda).reservedPeak)
+            : 0.0;
+    series.emplace_back("ir.plan_reserved_peak", plan_peak);
 }
 
 void

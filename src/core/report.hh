@@ -96,6 +96,16 @@ void appendHwprofSeries(
     std::vector<std::pair<std::string, double>> &series);
 
 /**
+ * Append the recorded-IR dispatch series (`ir.*`): ops recorded,
+ * fused launches, launches saved by fusion, and the planner's
+ * reserved peak (the Cuda reserved high-water mark in graph mode, 0
+ * in eager, where no plan ran). Deterministic at every thread width,
+ * so graph-mode runs diff clean at 0% tolerance.
+ */
+void appendIrSeries(
+    std::vector<std::pair<std::string, double>> &series);
+
+/**
  * When GNNPERF_CSV_DIR is set and stats sampling is on, write the
  * registry's JSON snapshot (`<prefix>_stats.json`), per-epoch series
  * CSV (`<prefix>_stats_epochs.csv`) and run-event log

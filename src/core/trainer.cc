@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "core/evaluator.hh"
 #include "device/profiler.hh"
+#include "ir/ir.hh"
 #include "nn/loss.hh"
 #include "nn/lr_scheduler.hh"
 #include "nn/optimizer.hh"
@@ -175,25 +176,31 @@ trainNodeTask(ModelKind kind, const Backend &backend,
     for (int epoch = 0; epoch < max_epochs; ++epoch) {
         HostSpan epoch_span("epoch");
         // --- training step (full batch) ---
+        // In --ir=graph mode the scope records ops into the op graph
+        // and flushes (fuse → plan → execute) on value access or at
+        // scope exit; in eager mode it is a no-op.
         Var logits;
-        {
-            PhaseScope phase(Phase::Forward);
-            logits = model->forward(batch);
-        }
         Var loss;
         {
-            PhaseScope phase(Phase::Other);
-            loss = nn::crossEntropy(logits, batch.nodeLabels,
-                                    batch.trainIdx);
-        }
-        {
-            PhaseScope phase(Phase::Backward);
-            model->zeroGrad();
-            loss.backward();
-        }
-        {
-            PhaseScope phase(Phase::Update);
-            optimizer.step();
+            ir::IterationScope iteration;
+            {
+                PhaseScope phase(Phase::Forward);
+                logits = model->forward(batch);
+            }
+            {
+                PhaseScope phase(Phase::Other);
+                loss = nn::crossEntropy(logits, batch.nodeLabels,
+                                        batch.trainIdx);
+            }
+            {
+                PhaseScope phase(Phase::Backward);
+                model->zeroGrad();
+                loss.backward();
+            }
+            {
+                PhaseScope phase(Phase::Update);
+                optimizer.step();
+            }
         }
 
         // --- evaluation (validation + test accuracy) ---
@@ -247,6 +254,9 @@ runTrainEpoch(GnnModel &model, nn::Adam &optimizer, DataLoader &loader)
     BatchedGraph batch;
     std::size_t iterations = 0;
     while (loader.next(batch)) {
+        // Record-then-execute scope per iteration (no-op in eager
+        // mode); see trainNodeTask.
+        ir::IterationScope iteration;
         Var logits;
         {
             PhaseScope phase(Phase::Forward);

@@ -101,6 +101,11 @@ const char *const kKernelNames[] = {
     "attn_head_dot_bwd_a",
     "attn_head_dot_bwd_x",
     "deg_inv_sqrt",
+    // ir/executor.cc — fused launches (record-then-execute mode)
+    "fused_ew",
+    "fused_ew_scatter",
+    "fused_gather_ew",
+    "fused_gather_ew_scatter",
     // backends/
     "batch_num_nodes",
     "degree",

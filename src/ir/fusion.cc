@@ -1,0 +1,101 @@
+#include "ir/fusion.hh"
+
+#include <utility>
+
+namespace gnnperf {
+namespace ir {
+
+namespace {
+
+/**
+ * The domain a node iterates over when fused: output rows for gather
+ * and elementwise members, *source* (edge) rows for a scatter-add.
+ */
+int64_t
+memberRows(const OpGraph &g, const OpNode &n)
+{
+    if (n.kind == OpKind::ScatterAdd)
+        return g.values[static_cast<std::size_t>(n.a)].rows();
+    return g.values[static_cast<std::size_t>(n.out)].rows();
+}
+
+bool
+sameIndex(const std::shared_ptr<const std::vector<int64_t>> &a,
+          const std::shared_ptr<const std::vector<int64_t>> &b)
+{
+    return a == b || (a && b && *a == *b);
+}
+
+} // namespace
+
+std::vector<FusionGroup>
+fuse(const OpGraph &g)
+{
+    std::vector<FusionGroup> out;
+    FusionGroup open;
+    int32_t open_first = -1;
+
+    auto close = [&] {
+        if (!open.nodeIds.empty())
+            out.push_back(std::move(open));
+        open = FusionGroup{};
+        open_first = -1;
+    };
+
+    const int32_t count = static_cast<int32_t>(g.nodes.size());
+    for (int32_t i = 0; i < count; ++i) {
+        const OpNode &n = g.nodes[static_cast<std::size_t>(i)];
+        const int64_t rows = memberRows(g, n);
+
+        bool join = !open.nodeIds.empty() && open.rows == rows;
+        if (join) {
+            switch (n.kind) {
+              case OpKind::Gather:
+                // A gather reads arbitrary rows of its source, so the
+                // source must be fully materialized before the group
+                // runs — it cannot come from the open group itself.
+                // Scatters are trailing: nothing joins after one.
+                join = !open.hasScatter &&
+                       !g.producedBy(n.a, open_first, i - 1);
+                break;
+              case OpKind::Unary:
+              case OpKind::Binary:
+                // Row e of an in-group input is written by the same
+                // chunk iteration just before it is read, so any mix
+                // of in-group and external inputs is fine.
+                join = !open.hasScatter;
+                break;
+              case OpKind::ScatterAdd: {
+                // All scatters in a group must share the ownership
+                // partition: same index vector, same output height.
+                const int64_t out_rows =
+                    g.values[static_cast<std::size_t>(n.out)].rows();
+                join = !open.hasScatter ||
+                       (sameIndex(open.scatterIdx, n.idx) &&
+                        open.scatterRows == out_rows);
+                break;
+              }
+            }
+        }
+
+        if (!join) {
+            close();
+            open.rows = rows;
+            open_first = i;
+        }
+        open.nodeIds.push_back(i);
+        if (n.kind == OpKind::Gather) {
+            open.hasGather = true;
+        } else if (n.kind == OpKind::ScatterAdd) {
+            open.hasScatter = true;
+            open.scatterIdx = n.idx;
+            open.scatterRows =
+                g.values[static_cast<std::size_t>(n.out)].rows();
+        }
+    }
+    close();
+    return out;
+}
+
+} // namespace ir
+} // namespace gnnperf

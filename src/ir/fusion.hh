@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fusion pass over the recorded op graph.
+ *
+ * Partitions the pending segment (in record order, which is program
+ * order) into maximal gather→elementwise→scatter groups that one
+ * ThreadPool launch can execute. See docs/IR.md for the rules.
+ */
+
+#ifndef GNNPERF_IR_FUSION_HH
+#define GNNPERF_IR_FUSION_HH
+
+#include <vector>
+
+#include "ir/op_graph.hh"
+
+namespace gnnperf {
+namespace ir {
+
+/**
+ * Greedy linear partition of `g.nodes` into FusionGroups. Groups are
+ * returned in execution order; every node appears in exactly one
+ * group, and a node's producers are always in the same or an earlier
+ * group (record order is topological).
+ */
+std::vector<FusionGroup> fuse(const OpGraph &g);
+
+} // namespace ir
+} // namespace gnnperf
+
+#endif // GNNPERF_IR_FUSION_HH

@@ -1,0 +1,53 @@
+#include "ir/planner.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "obs/memtrace.hh"
+#include "obs/spans.hh"
+
+namespace gnnperf {
+namespace ir {
+
+void
+planAllocations(OpGraph &g)
+{
+    HostSpan span("ir.plan");
+
+    std::vector<int32_t> outputs;
+    outputs.reserve(g.values.size());
+    for (std::size_t i = 0; i < g.values.size(); ++i) {
+        if (g.values[i].producer >= 0)
+            outputs.push_back(static_cast<int32_t>(i));
+    }
+    // Largest first; value id breaks ties so placement is
+    // deterministic at every thread count and across runs.
+    std::sort(outputs.begin(), outputs.end(),
+              [&](int32_t a, int32_t b) {
+                  const int64_t na =
+                      g.values[static_cast<std::size_t>(a)].numel();
+                  const int64_t nb =
+                      g.values[static_cast<std::size_t>(b)].numel();
+                  if (na != nb)
+                      return na > nb;
+                  return a < b;
+              });
+
+    std::size_t planned_host = 0, planned_cuda = 0;
+    for (int32_t id : outputs) {
+        Value &v = g.values[static_cast<std::size_t>(id)];
+        v.tensor = Tensor(v.shape, v.device);
+        const std::size_t bytes = v.tensor.bytes();
+        if (v.device == DeviceKind::Host)
+            planned_host += bytes;
+        else
+            planned_cuda += bytes;
+    }
+    if (planned_cuda > 0)
+        MemTracer::instance().onPlan(DeviceKind::Cuda, planned_cuda);
+    if (planned_host > 0)
+        MemTracer::instance().onPlan(DeviceKind::Host, planned_host);
+}
+
+} // namespace ir
+} // namespace gnnperf

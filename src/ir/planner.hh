@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Ahead-of-time memory planner for the recorded segment.
+ *
+ * Tensor lifetimes inside a pending segment are trivial — the tape
+ * retains every op output until backward, so nothing recorded frees
+ * before the flush completes. What the planner controls is *placement
+ * order*: instead of interleaving output allocations with kernel
+ * launches (eager), it places every output of the iteration segment
+ * through the active device allocator up front, largest block first,
+ * which is the order the CachingAllocator's best-fit reuse likes.
+ * The reserved-peak effect is measured by the `ir.plan_reserved_peak`
+ * BENCH series and gated ≤ the eager caching-allocator peak in CI.
+ */
+
+#ifndef GNNPERF_IR_PLANNER_HH
+#define GNNPERF_IR_PLANNER_HH
+
+#include "ir/op_graph.hh"
+
+namespace gnnperf {
+namespace ir {
+
+/**
+ * Allocate the tensor of every node output in `g` (externals already
+ * hold theirs). Emits one MemTracer Plan event per device planned and
+ * an "ir.plan" host span. Must run before execute(), outside any
+ * parallel region.
+ */
+void planAllocations(OpGraph &g);
+
+} // namespace ir
+} // namespace gnnperf
+
+#endif // GNNPERF_IR_PLANNER_HH

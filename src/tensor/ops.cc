@@ -84,25 +84,33 @@ unaryOp(const Tensor &a, const char *name, F f, double flops = 1.0)
 Tensor
 add(const Tensor &a, const Tensor &b)
 {
-    return binaryOp(a, b, "add", [](float x, float y) { return x + y; });
+    return binaryOp(a, b, "add", [](float x, float y) {
+        return ewBinaryApply(EwBinary::Add, x, y);
+    });
 }
 
 Tensor
 sub(const Tensor &a, const Tensor &b)
 {
-    return binaryOp(a, b, "sub", [](float x, float y) { return x - y; });
+    return binaryOp(a, b, "sub", [](float x, float y) {
+        return ewBinaryApply(EwBinary::Sub, x, y);
+    });
 }
 
 Tensor
 mul(const Tensor &a, const Tensor &b)
 {
-    return binaryOp(a, b, "mul", [](float x, float y) { return x * y; });
+    return binaryOp(a, b, "mul", [](float x, float y) {
+        return ewBinaryApply(EwBinary::Mul, x, y);
+    });
 }
 
 Tensor
 div(const Tensor &a, const Tensor &b)
 {
-    return binaryOp(a, b, "div", [](float x, float y) { return x / y; });
+    return binaryOp(a, b, "div", [](float x, float y) {
+        return ewBinaryApply(EwBinary::Div, x, y);
+    });
 }
 
 Tensor
@@ -205,41 +213,48 @@ addScaledInPlace(Tensor &a, const Tensor &b, float s)
 Tensor
 scale(const Tensor &a, float s)
 {
-    return unaryOp(a, "scale", [s](float x) { return s * x; });
+    return unaryOp(a, "scale", [s](float x) {
+        return ewUnaryApply(EwUnary::Scale, x, s);
+    });
 }
 
 Tensor
 addScalar(const Tensor &a, float s)
 {
-    return unaryOp(a, "add_scalar", [s](float x) { return x + s; });
+    return unaryOp(a, "add_scalar", [s](float x) {
+        return ewUnaryApply(EwUnary::AddScalar, x, s);
+    });
 }
 
 Tensor
 relu(const Tensor &a)
 {
-    return unaryOp(a, "relu",
-                   [](float x) { return x > 0.0f ? x : 0.0f; });
+    return unaryOp(a, "relu", [](float x) {
+        return ewUnaryApply(EwUnary::Relu, x, 0.0f);
+    });
 }
 
 Tensor
 sigmoid(const Tensor &a)
 {
-    return unaryOp(a, "sigmoid",
-                   [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-                   4.0);
+    return unaryOp(a, "sigmoid", [](float x) {
+        return ewUnaryApply(EwUnary::Sigmoid, x, 0.0f);
+    }, 4.0);
 }
 
 Tensor
 tanhT(const Tensor &a)
 {
-    return unaryOp(a, "tanh", [](float x) { return std::tanh(x); }, 4.0);
+    return unaryOp(a, "tanh", [](float x) {
+        return ewUnaryApply(EwUnary::Tanh, x, 0.0f);
+    }, 4.0);
 }
 
 Tensor
 elu(const Tensor &a, float alpha)
 {
     return unaryOp(a, "elu", [alpha](float x) {
-        return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f);
+        return ewUnaryApply(EwUnary::Elu, x, alpha);
     }, 3.0);
 }
 
@@ -247,14 +262,16 @@ Tensor
 leakyRelu(const Tensor &a, float slope)
 {
     return unaryOp(a, "leaky_relu", [slope](float x) {
-        return x > 0.0f ? x : slope * x;
+        return ewUnaryApply(EwUnary::LeakyRelu, x, slope);
     });
 }
 
 Tensor
 expT(const Tensor &a)
 {
-    return unaryOp(a, "exp", [](float x) { return std::exp(x); }, 4.0);
+    return unaryOp(a, "exp", [](float x) {
+        return ewUnaryApply(EwUnary::Exp, x, 0.0f);
+    }, 4.0);
 }
 
 Tensor
@@ -550,9 +567,126 @@ Tensor
 gatherRows(const Tensor &a, const std::vector<int64_t> &idx)
 {
     gnnperf_assert(a.rank() == 2, "gatherRows on rank ", a.rank());
+    Tensor out({static_cast<int64_t>(idx.size()), a.dim(1)},
+               a.device());
+    gatherRowsInto(out, a, idx);
+    return out;
+}
+
+Tensor
+scatterAddRows(const Tensor &src, const std::vector<int64_t> &idx,
+               int64_t num_rows)
+{
+    gnnperf_assert(src.rank() == 2, "scatterAddRows on rank ",
+                   src.rank());
+    Tensor out({num_rows, src.dim(1)}, src.device());
+    scatterAddRowsInto(out, src, idx);
+    return out;
+}
+
+const char *
+ewUnaryName(EwUnary k)
+{
+    switch (k) {
+      case EwUnary::Scale:
+        return "scale";
+      case EwUnary::AddScalar:
+        return "add_scalar";
+      case EwUnary::Relu:
+        return "relu";
+      case EwUnary::Sigmoid:
+        return "sigmoid";
+      case EwUnary::Tanh:
+        return "tanh";
+      case EwUnary::Elu:
+        return "elu";
+      case EwUnary::LeakyRelu:
+        return "leaky_relu";
+      case EwUnary::Exp:
+        return "exp";
+    }
+    return "?";
+}
+
+const char *
+ewBinaryName(EwBinary k)
+{
+    switch (k) {
+      case EwBinary::Add:
+        return "add";
+      case EwBinary::Sub:
+        return "sub";
+      case EwBinary::Mul:
+        return "mul";
+      case EwBinary::Div:
+        return "div";
+    }
+    return "?";
+}
+
+double
+ewUnaryFlops(EwUnary k)
+{
+    switch (k) {
+      case EwUnary::Sigmoid:
+      case EwUnary::Tanh:
+      case EwUnary::Exp:
+        return 4.0;
+      case EwUnary::Elu:
+        return 3.0;
+      default:
+        return 1.0;
+    }
+}
+
+double
+ewBinaryFlops(EwBinary)
+{
+    return 1.0;
+}
+
+void
+ewUnaryInto(Tensor &out, const Tensor &a, EwUnary k, float p)
+{
+    checkSameShape(out, a, ewUnaryName(k));
+    const float *pa = a.data();
+    float *po = out.data();
+    const int64_t n = a.numel();
+    par::parallelFor("par.unary_op", 0, n, kElemGrain,
+                     [&](int64_t b, int64_t e, int) {
+                         for (int64_t i = b; i < e; ++i)
+                             po[i] = ewUnaryApply(k, pa[i], p);
+                     });
+    recordElementwise(ewUnaryName(k), n, ewUnaryFlops(k), 2.0);
+}
+
+void
+ewBinaryInto(Tensor &out, const Tensor &a, const Tensor &b, EwBinary k)
+{
+    checkSameShape(a, b, ewBinaryName(k));
+    checkSameShape(out, a, ewBinaryName(k));
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    const int64_t n = a.numel();
+    par::parallelFor("par.binary_op", 0, n, kElemGrain,
+                     [&](int64_t b2, int64_t e2, int) {
+                         for (int64_t i = b2; i < e2; ++i)
+                             po[i] = ewBinaryApply(k, pa[i], pb[i]);
+                     });
+    recordElementwise(ewBinaryName(k), n, ewBinaryFlops(k), 3.0);
+}
+
+void
+gatherRowsInto(Tensor &out, const Tensor &a,
+               const std::vector<int64_t> &idx)
+{
+    gnnperf_assert(a.rank() == 2, "gatherRows on rank ", a.rank());
     const int64_t f = a.dim(1);
     const int64_t e = static_cast<int64_t>(idx.size());
-    Tensor out({e, f}, a.device());
+    gnnperf_assert(out.rank() == 2 && out.dim(0) == e &&
+                   out.dim(1) == f,
+                   "gatherRowsInto: bad output ", out.describe());
     const float *pa = a.data();
     float *po = out.data();
     // Validate up front so workers never panic off the main thread.
@@ -571,12 +705,11 @@ gatherRows(const Tensor &a, const std::vector<int64_t> &idx)
         });
     recordKernel("gather_rows", 0.0,
                  2.0 * static_cast<double>(out.bytes()));
-    return out;
 }
 
-Tensor
-scatterAddRows(const Tensor &src, const std::vector<int64_t> &idx,
-               int64_t num_rows)
+void
+scatterAddRowsInto(Tensor &out, const Tensor &src,
+                   const std::vector<int64_t> &idx)
 {
     gnnperf_assert(src.rank() == 2, "scatterAddRows on rank ",
                    src.rank());
@@ -584,12 +717,14 @@ scatterAddRows(const Tensor &src, const std::vector<int64_t> &idx,
                    "scatterAddRows: ", idx.size(), " indices for ",
                    src.dim(0), " rows");
     const int64_t f = src.dim(1);
+    const int64_t num_rows = out.dim(0);
+    gnnperf_assert(out.rank() == 2 && out.dim(1) == f,
+                   "scatterAddRowsInto: bad output ", out.describe());
     static stats::Counter &calls = stats::counter("kernel.scatter.calls");
     static stats::Distribution &rows =
         stats::distribution("kernel.scatter.rows");
     calls.inc();
     rows.sample(static_cast<double>(num_rows));
-    Tensor out = Tensor::zeros({num_rows, f}, src.device());
     const float *ps = src.data();
     float *po = out.data();
     const int64_t ne = static_cast<int64_t>(idx.size());
@@ -597,12 +732,16 @@ scatterAddRows(const Tensor &src, const std::vector<int64_t> &idx,
         gnnperf_assert(idx[e] >= 0 && idx[e] < num_rows,
                        "scatterAddRows: index ", idx[e], " out of ",
                        num_rows);
-    // Output-range partition (see scatterMaxRows): each chunk scans the
-    // full index vector in edge order but only accumulates rows in its
-    // range, so per-row float addition order matches the serial scan.
+    // Output-range partition (see scatterMaxRows): each chunk zeroes
+    // its own output rows, then scans the full index vector in edge
+    // order but only accumulates rows in its range, so per-row float
+    // addition order matches the serial scan.
     par::parallelFor(
         "par.scatter_add", 0, num_rows, par::grainFor(num_rows, 1),
         [&](int64_t rb, int64_t re, int) {
+            std::memset(po + rb * f, 0,
+                        static_cast<std::size_t>((re - rb) * f) *
+                            sizeof(float));
             for (int64_t e = 0; e < ne; ++e) {
                 const int64_t r = idx[static_cast<std::size_t>(e)];
                 if (r < rb || r >= re)
@@ -616,7 +755,6 @@ scatterAddRows(const Tensor &src, const std::vector<int64_t> &idx,
     recordKernel("scatter_add", static_cast<double>(src.numel()),
                  2.0 * static_cast<double>(src.bytes()) +
                      static_cast<double>(out.bytes()));
-    return out;
 }
 
 Tensor

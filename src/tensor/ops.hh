@@ -14,6 +14,7 @@
 #ifndef GNNPERF_TENSOR_OPS_HH
 #define GNNPERF_TENSOR_OPS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -21,6 +22,83 @@
 
 namespace gnnperf {
 namespace ops {
+
+// ----- elementwise kinds ---------------------------------------------------
+//
+// The recorded-IR layer (src/ir) replays and fuses elementwise kernels,
+// so the per-element math is single-sourced here: the eager wrappers,
+// the `Into` replay variants and the fused launches all inline the same
+// expressions, which is what makes graph mode bit-identical to eager.
+
+/** Unary elementwise kernels (param: scale s, added s, elu α, slope). */
+enum class EwUnary
+{
+    Scale,
+    AddScalar,
+    Relu,
+    Sigmoid,
+    Tanh,
+    Elu,
+    LeakyRelu,
+    Exp,
+};
+
+/** Binary elementwise kernels. */
+enum class EwBinary
+{
+    Add,
+    Sub,
+    Mul,
+    Div,
+};
+
+inline float
+ewUnaryApply(EwUnary k, float x, float p)
+{
+    switch (k) {
+      case EwUnary::Scale:
+        return p * x;
+      case EwUnary::AddScalar:
+        return x + p;
+      case EwUnary::Relu:
+        return x > 0.0f ? x : 0.0f;
+      case EwUnary::Sigmoid:
+        return 1.0f / (1.0f + std::exp(-x));
+      case EwUnary::Tanh:
+        return std::tanh(x);
+      case EwUnary::Elu:
+        return x > 0.0f ? x : p * (std::exp(x) - 1.0f);
+      case EwUnary::LeakyRelu:
+        return x > 0.0f ? x : p * x;
+      case EwUnary::Exp:
+        return std::exp(x);
+    }
+    return x;
+}
+
+inline float
+ewBinaryApply(EwBinary k, float x, float y)
+{
+    switch (k) {
+      case EwBinary::Add:
+        return x + y;
+      case EwBinary::Sub:
+        return x - y;
+      case EwBinary::Mul:
+        return x * y;
+      case EwBinary::Div:
+        return x / y;
+    }
+    return x;
+}
+
+/** Registered kernel name for an elementwise kind. */
+const char *ewUnaryName(EwUnary k);
+const char *ewBinaryName(EwBinary k);
+
+/** Per-element FLOP cost, matching the eager wrappers' records. */
+double ewUnaryFlops(EwUnary k);
+double ewBinaryFlops(EwBinary k);
 
 // ----- elementwise binary ------------------------------------------------
 
@@ -121,6 +199,33 @@ Tensor gatherRows(const Tensor &a, const std::vector<int64_t> &idx);
 /** Scatter-add rows: out[idx[e]] += src[e]; out has `num_rows` rows. */
 Tensor scatterAddRows(const Tensor &src, const std::vector<int64_t> &idx,
                       int64_t num_rows);
+
+// ----- preallocated-output (`Into`) replay variants ------------------------
+//
+// Used by the recorded-IR executor (src/ir/executor.cc): the memory
+// planner preallocates `out` ahead of the launch, and each variant runs
+// the exact eager kernel — same parallelFor launch name, grain and
+// KernelRecord — into it, so an unfused replayed node is
+// indistinguishable from its eager counterpart.
+
+/** out = unary(a) elementwise; out must match a's shape. */
+void ewUnaryInto(Tensor &out, const Tensor &a, EwUnary k, float p);
+
+/** out = a ∘ b elementwise; all three shapes must match. */
+void ewBinaryInto(Tensor &out, const Tensor &a, const Tensor &b,
+                  EwBinary k);
+
+/** out[e] = a[idx[e]]; out must be [idx.size(), a.dim(1)]. */
+void gatherRowsInto(Tensor &out, const Tensor &a,
+                    const std::vector<int64_t> &idx);
+
+/**
+ * out[idx[e]] += src[e] after zero-filling out in-kernel (each output
+ * chunk clears its own rows, so no separate fill pass is needed and
+ * the accumulation order matches the eager kernel exactly).
+ */
+void scatterAddRowsInto(Tensor &out, const Tensor &src,
+                        const std::vector<int64_t> &idx);
 
 /** L2-normalise each row (zero rows stay zero). */
 Tensor l2NormalizeRows(const Tensor &a, float eps = 1e-12f);
